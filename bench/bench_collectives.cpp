@@ -1,0 +1,78 @@
+// Microbenchmarks of the collective-operations library over the
+// deterministic virtual-time executor: host-side cost per collective as
+// group size and payload grow (log-depth trees keep rounds low — the
+// property that makes collectives cheap relative to data transfers).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "collectives/communicator.hpp"
+#include "collectives/reduce_ops.hpp"
+#include "runtime/cluster.hpp"
+
+namespace {
+
+using ccf::collectives::Communicator;
+using ccf::runtime::ClusterOptions;
+using ccf::runtime::ProcessContext;
+
+/// Runs `ops` collectives of the given kind on a P-process virtual
+/// cluster; reports time per collective call.
+template <typename Body>
+void run_collective_bench(benchmark::State& state, int procs, int ops, Body&& body) {
+  std::vector<ccf::transport::ProcId> members(static_cast<std::size_t>(procs));
+  std::iota(members.begin(), members.end(), 0);
+  for (auto _ : state) {
+    auto cluster = ccf::runtime::make_cluster(ClusterOptions{});
+    for (auto id : members) {
+      cluster->add_process(id, [&, members](ProcessContext& ctx) {
+        Communicator comm(ctx, members);
+        for (int i = 0; i < ops; ++i) body(comm);
+      });
+    }
+    cluster->run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * ops);
+}
+
+void BM_Barrier(benchmark::State& state) {
+  run_collective_bench(state, static_cast<int>(state.range(0)), 50,
+                       [](Communicator& comm) { comm.barrier(); });
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_Broadcast(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(1));
+  run_collective_bench(state, static_cast<int>(state.range(0)), 50, [count](Communicator& comm) {
+    std::vector<double> data(comm.rank() == 0 ? count : 0, 1.0);
+    comm.broadcast(data, 0);
+    benchmark::DoNotOptimize(data.data());
+  });
+}
+BENCHMARK(BM_Broadcast)->Args({8, 64})->Args({8, 65536})->Args({32, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllReduce(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(1));
+  run_collective_bench(state, static_cast<int>(state.range(0)), 50, [count](Communicator& comm) {
+    std::vector<double> data(count, static_cast<double>(comm.rank()));
+    comm.all_reduce(data, ccf::collectives::Sum{});
+    benchmark::DoNotOptimize(data.data());
+  });
+}
+BENCHMARK(BM_AllReduce)->Args({8, 64})->Args({32, 64})->Unit(benchmark::kMillisecond);
+
+void BM_AllToAll(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  run_collective_bench(state, procs, 20, [procs](Communicator& comm) {
+    std::vector<std::vector<double>> send(static_cast<std::size_t>(procs),
+                                          std::vector<double>(16, 1.0));
+    auto recv = comm.all_to_all(send);
+    benchmark::DoNotOptimize(recv.data());
+  });
+}
+BENCHMARK(BM_AllToAll)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

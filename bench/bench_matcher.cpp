@@ -1,0 +1,76 @@
+// Microbenchmarks of the approximate-matching engine: record/evaluate
+// throughput as the candidate history grows, per policy.
+#include <benchmark/benchmark.h>
+
+#include "core/matcher.hpp"
+
+namespace {
+
+using ccf::core::ExportHistory;
+using ccf::core::MatchPolicy;
+using ccf::core::MatchQuery;
+
+ExportHistory make_history(std::int64_t n) {
+  ExportHistory h;
+  for (std::int64_t k = 1; k <= n; ++k) h.record(0.6 + static_cast<double>(k));
+  return h;
+}
+
+void BM_HistoryRecord(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExportHistory h;
+    state.ResumeTiming();
+    for (int k = 1; k <= 1000; ++k) h.record(0.6 + k);
+    benchmark::DoNotOptimize(h.latest());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_HistoryRecord);
+
+void BM_EvaluateDecisive(benchmark::State& state) {
+  const auto n = state.range(0);
+  const ExportHistory h = make_history(n);
+  const MatchQuery q{static_cast<double>(n) / 2, MatchPolicy::REGL, 2.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.evaluate(q));
+  }
+}
+BENCHMARK(BM_EvaluateDecisive)->Arg(10)->Arg(100)->Arg(1000)->Arg(100000);
+
+void BM_EvaluatePending(benchmark::State& state) {
+  const ExportHistory h = make_history(state.range(0));
+  const MatchQuery q{1e9, MatchPolicy::REGL, 2.5};  // far future -> pending
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.evaluate(q));
+  }
+}
+BENCHMARK(BM_EvaluatePending)->Arg(1000)->Arg(100000);
+
+void BM_EvaluatePerPolicy(benchmark::State& state) {
+  const auto policy = static_cast<MatchPolicy>(state.range(0));
+  const ExportHistory h = make_history(10000);
+  const MatchQuery q{5000.0, policy, 7.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.evaluate(q));
+  }
+}
+BENCHMARK(BM_EvaluatePerPolicy)
+    ->Arg(static_cast<int>(MatchPolicy::REGL))
+    ->Arg(static_cast<int>(MatchPolicy::REGU))
+    ->Arg(static_cast<int>(MatchPolicy::REG));
+
+void BM_PruneBelowAmortized(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExportHistory h = make_history(10000);
+    state.ResumeTiming();
+    for (double t = 100; t <= 10000; t += 100) h.prune_below(t);
+    benchmark::DoNotOptimize(h.count());
+  }
+}
+BENCHMARK(BM_PruneBelowAmortized);
+
+}  // namespace
+
+BENCHMARK_MAIN();

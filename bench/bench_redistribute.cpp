@@ -1,0 +1,78 @@
+// Microbenchmarks of the MxN redistribution machinery: schedule
+// construction cost as process counts grow, and pack/unpack throughput.
+#include <benchmark/benchmark.h>
+
+#include "dist/dist_array.hpp"
+#include "dist/redistribute.hpp"
+#include "dist/schedule.hpp"
+
+namespace {
+
+using ccf::dist::BlockDecomposition;
+using ccf::dist::Box;
+using ccf::dist::DistArray2D;
+using ccf::dist::RedistSchedule;
+
+void BM_ScheduleBuild(benchmark::State& state) {
+  const int src_p = static_cast<int>(state.range(0));
+  const int dst_p = static_cast<int>(state.range(1));
+  const auto src = BlockDecomposition::make_grid(1024, 1024, src_p);
+  const auto dst = BlockDecomposition::make_grid(1024, 1024, dst_p);
+  for (auto _ : state) {
+    RedistSchedule sched(src, dst, Box{0, 1024, 0, 1024});
+    benchmark::DoNotOptimize(sched.pieces().size());
+  }
+}
+BENCHMARK(BM_ScheduleBuild)
+    ->Args({4, 4})
+    ->Args({4, 32})
+    ->Args({32, 32})
+    ->Args({64, 128});
+
+void BM_PackBox(benchmark::State& state) {
+  const auto side = state.range(0);
+  const BlockDecomposition d(side, side, 1, 1);
+  DistArray2D<double> a(d, 0);
+  a.fill([](ccf::dist::Index r, ccf::dist::Index c) {
+    return static_cast<double>(r + c);
+  });
+  const Box sub{side / 4, 3 * side / 4, side / 4, 3 * side / 4};
+  for (auto _ : state) {
+    auto packed = a.pack(sub);
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sub.count()) * 8);
+}
+BENCHMARK(BM_PackBox)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_UnpackBox(benchmark::State& state) {
+  const auto side = state.range(0);
+  const BlockDecomposition d(side, side, 1, 1);
+  DistArray2D<double> a(d, 0);
+  const Box sub{0, side, 0, side};
+  const std::vector<double> buf(static_cast<std::size_t>(sub.count()), 2.5);
+  for (auto _ : state) {
+    a.unpack(sub, buf);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sub.count()) * 8);
+}
+BENCHMARK(BM_UnpackBox)->Arg(128)->Arg(512);
+
+void BM_PackFromPacked(benchmark::State& state) {
+  const Box buf_box{0, 512, 0, 512};
+  const std::vector<double> buf(512 * 512, 1.0);
+  const Box piece{100, 400, 100, 400};
+  for (auto _ : state) {
+    auto out = ccf::dist::pack_from_packed(buf_box, buf, piece);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * piece.count() * 8);
+}
+BENCHMARK(BM_PackFromPacked);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Microbenchmarks of the simulation substrates: stencil-step throughput of
+// the wave and heat solvers (including the halo exchange through the
+// in-memory transport) and the forcing field's analytic fill.
+#include <benchmark/benchmark.h>
+
+#include "runtime/cluster.hpp"
+#include "sim/forcing.hpp"
+#include "sim/heat2d.hpp"
+#include "sim/wave2d.hpp"
+
+namespace {
+
+using ccf::dist::BlockDecomposition;
+using ccf::dist::DistArray2D;
+using ccf::dist::Index;
+
+void BM_WaveSolverStep(benchmark::State& state) {
+  const auto side = static_cast<Index>(state.range(0));
+  const int procs = static_cast<int>(state.range(1));
+  const auto decomp = BlockDecomposition::make_grid(side, side, procs);
+  const int steps_per_run = 10;
+  for (auto _ : state) {
+    auto cluster = ccf::runtime::make_cluster(ccf::runtime::ClusterOptions{});
+    std::vector<ccf::transport::ProcId> peers;
+    for (int r = 0; r < procs; ++r) peers.push_back(r);
+    for (int rank = 0; rank < procs; ++rank) {
+      cluster->add_process(rank, [&, rank](ccf::runtime::ProcessContext& ctx) {
+        ccf::sim::WaveSolver2D solver(decomp, rank, peers, 0.1);
+        DistArray2D<double> forcing(decomp, rank);
+        for (int s = 0; s < steps_per_run; ++s) solver.step(ctx, forcing);
+        benchmark::DoNotOptimize(solver.local_energy());
+      });
+    }
+    cluster->run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * steps_per_run *
+                          side * side);
+}
+BENCHMARK(BM_WaveSolverStep)->Args({64, 1})->Args({64, 4})->Args({256, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HeatSolverStep(benchmark::State& state) {
+  const auto side = static_cast<Index>(state.range(0));
+  const int procs = static_cast<int>(state.range(1));
+  const auto decomp = BlockDecomposition::make_grid(side, side, procs);
+  const int steps_per_run = 10;
+  for (auto _ : state) {
+    auto cluster = ccf::runtime::make_cluster(ccf::runtime::ClusterOptions{});
+    std::vector<ccf::transport::ProcId> peers;
+    for (int r = 0; r < procs; ++r) peers.push_back(r);
+    for (int rank = 0; rank < procs; ++rank) {
+      cluster->add_process(rank, [&, rank](ccf::runtime::ProcessContext& ctx) {
+        ccf::sim::HeatSolver2D solver(decomp, rank, peers, 0.25, 0.5);
+        DistArray2D<double> forcing(decomp, rank);
+        for (int s = 0; s < steps_per_run; ++s) solver.step(ctx, forcing);
+        benchmark::DoNotOptimize(solver.local_sum());
+      });
+    }
+    cluster->run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * steps_per_run *
+                          side * side);
+}
+BENCHMARK(BM_HeatSolverStep)->Args({64, 4})->Args({256, 4})->Unit(benchmark::kMillisecond);
+
+void BM_ForcingFill(benchmark::State& state) {
+  const auto side = static_cast<Index>(state.range(0));
+  const auto decomp = BlockDecomposition::make_grid(side, side, 1);
+  ccf::sim::ForcingField field(decomp, 0);
+  double t = 0;
+  for (auto _ : state) {
+    field.fill(t += 0.1);
+    benchmark::DoNotOptimize(field.field().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * side * side);
+}
+BENCHMARK(BM_ForcingFill)->Arg(64)->Arg(512);
+
+void BM_ForcingTouch(benchmark::State& state) {
+  const auto decomp = BlockDecomposition::make_grid(512, 512, 1);
+  ccf::sim::ForcingField field(decomp, 0);
+  double t = 0;
+  for (auto _ : state) {
+    field.touch(t += 0.1);
+    benchmark::DoNotOptimize(field.field().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForcingTouch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

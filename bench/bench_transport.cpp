@@ -1,0 +1,108 @@
+// Microbenchmarks of the transport substrate and the virtual-time
+// executor: serialization, mailbox matching, network routing, and the
+// discrete-event scheduler's event throughput (which bounds how large a
+// virtual experiment is practical).
+#include <benchmark/benchmark.h>
+
+#include "simtime/virtual_cluster.hpp"
+#include "transport/network.hpp"
+#include "transport/serialize.hpp"
+
+namespace {
+
+using namespace ccf::transport;
+
+void BM_SerializeDoubles(benchmark::State& state) {
+  const std::vector<double> data(static_cast<std::size_t>(state.range(0)), 3.14);
+  for (auto _ : state) {
+    Writer w;
+    w.put_vector(data);
+    Reader r(w.take());
+    auto out = r.get_vector<double>();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0) * 8);
+}
+BENCHMARK(BM_SerializeDoubles)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_MailboxDeliverReceive(benchmark::State& state) {
+  Mailbox box;
+  Message m;
+  m.src = 1;
+  m.dst = 0;
+  m.tag = 7;
+  m.payload = empty_payload();
+  for (auto _ : state) {
+    box.deliver(m);
+    benchmark::DoNotOptimize(box.receive(MatchSpec{1, 7}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MailboxDeliverReceive);
+
+void BM_MailboxTaggedScan(benchmark::State& state) {
+  // Receive must scan past non-matching queued messages.
+  const auto depth = state.range(0);
+  Mailbox box;
+  for (int i = 0; i < depth; ++i) {
+    Message noise;
+    noise.src = 1;
+    noise.tag = 1;
+    noise.payload = empty_payload();
+    box.deliver(std::move(noise));
+  }
+  Message wanted;
+  wanted.src = 2;
+  wanted.tag = 2;
+  wanted.payload = empty_payload();
+  for (auto _ : state) {
+    box.deliver(wanted);
+    benchmark::DoNotOptimize(box.receive(MatchSpec{2, 2}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MailboxTaggedScan)->Arg(0)->Arg(16)->Arg(256);
+
+void BM_NetworkSend(benchmark::State& state) {
+  Network net;
+  net.register_process(0);
+  auto box = net.register_process(1);
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.tag = 3;
+  m.payload = empty_payload();
+  for (auto _ : state) {
+    net.send(m);
+    benchmark::DoNotOptimize(box->receive(MatchSpec{}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSend);
+
+void BM_VirtualClusterEvents(benchmark::State& state) {
+  // Event throughput of the deterministic scheduler: P processes doing a
+  // message ring with per-hop advances.
+  const int procs = static_cast<int>(state.range(0));
+  const int rounds = 200;
+  for (auto _ : state) {
+    ccf::simtime::VirtualCluster cluster;
+    for (int p = 0; p < procs; ++p) {
+      cluster.add_process(p, [&, p](ccf::simtime::SimContext& ctx) {
+        for (int i = 0; i < rounds; ++i) {
+          ctx.send((p + 1) % procs, 1, empty_payload());
+          ctx.advance(0.001);
+          (void)ctx.recv(MatchSpec{(p + procs - 1) % procs, 1});
+        }
+      });
+    }
+    cluster.run();
+    state.counters["events"] = static_cast<double>(cluster.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * procs * rounds * 3);
+}
+BENCHMARK(BM_VirtualClusterEvents)->Arg(2)->Arg(8)->Arg(38)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

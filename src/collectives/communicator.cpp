@@ -1,0 +1,210 @@
+#include "collectives/communicator.hpp"
+
+#include <algorithm>
+
+namespace ccf::collectives {
+
+Communicator::Communicator(ProcessContext& ctx, std::vector<ProcId> members, int color)
+    : ctx_(ctx), members_(std::move(members)), color_(color) {
+  CCF_REQUIRE(!members_.empty(), "communicator needs at least one member");
+  CCF_REQUIRE(color >= 0 && color < 128, "communicator color " << color << " outside [0,128)");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == ctx_.id()) {
+      CCF_REQUIRE(rank_ == -1, "process " << ctx_.id() << " appears twice in communicator");
+      rank_ = static_cast<int>(i);
+    }
+  }
+  CCF_REQUIRE(rank_ >= 0, "process " << ctx_.id() << " is not a member of this communicator");
+}
+
+ProcId Communicator::proc_at(int r) const {
+  CCF_REQUIRE(r >= 0 && r < size(), "rank " << r << " outside [0," << size() << ")");
+  return members_[static_cast<std::size_t>(r)];
+}
+
+Tag Communicator::next_tag(OpCode op) {
+  const std::uint32_t seq = seq_++;
+  const auto tag = static_cast<Tag>(
+      static_cast<std::uint32_t>(kCollectiveTagBase) +
+      (static_cast<std::uint32_t>(color_) << 17) + ((seq & 0x1FFFu) << 4) +
+      static_cast<std::uint32_t>(op));
+  return tag;
+}
+
+Payload Communicator::bytes_of(const void* data, std::size_t bytes) {
+  if (bytes == 0) return transport::empty_payload();
+  std::vector<std::byte> buf(bytes);
+  std::memcpy(buf.data(), data, bytes);
+  return transport::make_payload(std::move(buf));
+}
+
+std::vector<std::byte> Communicator::raw_of(const void* data, std::size_t bytes) {
+  std::vector<std::byte> buf(bytes);
+  if (bytes > 0) std::memcpy(buf.data(), data, bytes);
+  return buf;
+}
+
+namespace {
+/// Rank relative to the tree root, wrapping around the group.
+int vrank_of(int rank, int root, int size) { return (rank - root + size) % size; }
+int real_rank(int vrank, int root, int size) { return (vrank + root) % size; }
+
+struct SplitEntry {
+  std::int32_t color;
+  std::int32_t key;
+  std::int32_t old_rank;
+  ProcId id;
+};
+}  // namespace
+
+Communicator Communicator::split(int color, int key, int tag_color) {
+  // Gather every member's (color, key) so all members of a sub-group
+  // derive the identical membership list.
+  std::vector<SplitEntry> mine{SplitEntry{color, key, rank_, ctx_.id()}};
+  std::vector<SplitEntry> all = all_gather(mine);
+  CCF_CHECK(all.size() == static_cast<std::size_t>(size()), "split gather size mismatch");
+
+  std::vector<SplitEntry> group;
+  for (const auto& e : all) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const SplitEntry& a, const SplitEntry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.old_rank < b.old_rank;
+  });
+  std::vector<ProcId> members;
+  members.reserve(group.size());
+  for (const auto& e : group) members.push_back(e.id);
+  return Communicator(ctx_, std::move(members), tag_color);
+}
+
+void Communicator::bcast_bytes(std::vector<std::byte>& buf, int root) {
+  CCF_REQUIRE(root >= 0 && root < size(), "broadcast root " << root << " outside group");
+  const Tag tag = next_tag(OpCode::Bcast);
+  const int n = size();
+  if (n == 1) return;
+  const int vrank = vrank_of(rank_, root, n);
+
+  // Binomial tree: receive from the parent at our lowest set bit, then
+  // forward down the remaining subtrees (MPICH-style).
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int src = real_rank(vrank - mask, root, n);
+      Message m = ctx_.recv(MatchSpec{proc_at(src), tag});
+      buf.assign(m.payload->begin(), m.payload->end());
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int dst = real_rank(vrank + mask, root, n);
+      ctx_.send(proc_at(dst), tag, bytes_of(buf.data(), buf.size()));
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::vector<std::byte>> Communicator::gather_bytes(std::vector<std::byte> local,
+                                                               int root) {
+  CCF_REQUIRE(root >= 0 && root < size(), "gather root " << root << " outside group");
+  const Tag tag = next_tag(OpCode::Gather);
+  const int n = size();
+  std::vector<std::vector<std::byte>> parts;
+  if (rank_ == root) {
+    parts.resize(static_cast<std::size_t>(n));
+    parts[static_cast<std::size_t>(root)] = std::move(local);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      Message m = ctx_.recv(MatchSpec{proc_at(r), tag});
+      parts[static_cast<std::size_t>(r)].assign(m.payload->begin(), m.payload->end());
+    }
+  } else {
+    ctx_.send(proc_at(root), tag, bytes_of(local.data(), local.size()));
+  }
+  return parts;
+}
+
+std::vector<std::byte> Communicator::scatter_bytes(const std::vector<std::byte>& all,
+                                                   std::size_t chunk_bytes, int root) {
+  CCF_REQUIRE(root >= 0 && root < size(), "scatter root " << root << " outside group");
+  const Tag tag = next_tag(OpCode::Scatter);
+  const int n = size();
+  if (rank_ == root) {
+    CCF_REQUIRE(all.size() == chunk_bytes * static_cast<std::size_t>(n),
+                "scatter buffer size " << all.size() << " != chunk " << chunk_bytes << " x " << n);
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      ctx_.send(proc_at(r), tag,
+                bytes_of(all.data() + chunk_bytes * static_cast<std::size_t>(r), chunk_bytes));
+    }
+    return {all.begin() + static_cast<std::ptrdiff_t>(chunk_bytes * static_cast<std::size_t>(root)),
+            all.begin() + static_cast<std::ptrdiff_t>(chunk_bytes * static_cast<std::size_t>(root + 1))};
+  }
+  Message m = ctx_.recv(MatchSpec{proc_at(root), tag});
+  CCF_CHECK(m.payload->size() == chunk_bytes, "scatter chunk size mismatch");
+  return {m.payload->begin(), m.payload->end()};
+}
+
+void Communicator::reduce_bytes(std::vector<std::byte>& buf, std::size_t elem_size, int root,
+                                const CombineFn& combine) {
+  CCF_REQUIRE(root >= 0 && root < size(), "reduce root " << root << " outside group");
+  CCF_REQUIRE(elem_size > 0 && buf.size() % elem_size == 0,
+              "reduce buffer not a whole number of elements");
+  const Tag tag = next_tag(OpCode::Reduce);
+  const int n = size();
+  if (n == 1) return;
+  const int vrank = vrank_of(rank_, root, n);
+  const std::size_t count = buf.size() / elem_size;
+
+  // Binomial tree reduction: even vranks absorb their |mask partner, odd
+  // vranks ship their partial result to the parent and leave.
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) == 0) {
+      const int partner_v = vrank | mask;
+      if (partner_v < n) {
+        const int partner = real_rank(partner_v, root, n);
+        Message m = ctx_.recv(MatchSpec{proc_at(partner), tag});
+        CCF_CHECK(m.payload->size() == buf.size(),
+                  "reduce contribution size mismatch from rank " << partner);
+        combine(buf.data(), m.payload->data(), count);
+      }
+    } else {
+      const int parent = real_rank(vrank & ~mask, root, n);
+      ctx_.send(proc_at(parent), tag, bytes_of(buf.data(), buf.size()));
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Communicator::barrier() {
+  // Reduce an empty token to rank 0, then broadcast the release. Two
+  // phases ensure nobody exits before everyone arrived.
+  const int n = size();
+  if (n == 1) {
+    next_tag(OpCode::Barrier);  // keep sequence counters aligned across sizes
+    return;
+  }
+  const Tag tag = next_tag(OpCode::Barrier);
+  const int vrank = rank_;  // root 0
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) == 0) {
+      const int partner = vrank | mask;
+      if (partner < n) (void)ctx_.recv(MatchSpec{proc_at(partner), tag});
+    } else {
+      ctx_.send(proc_at(vrank & ~mask), tag, transport::empty_payload());
+      break;
+    }
+    mask <<= 1;
+  }
+  // Release phase reuses the broadcast tree with a fresh tag.
+  std::vector<std::byte> token;
+  bcast_bytes(token, 0);
+}
+
+}  // namespace ccf::collectives

@@ -1,0 +1,278 @@
+// MPI-style communicator and collective operations over ProcessContext.
+//
+// A Communicator names an ordered group of cluster processes; the calling
+// process must be a member and derives its rank from its position. All
+// collective calls must be made by every member in the same order (the
+// same SPMD contract as MPI) — each call consumes one slot of the
+// communicator's operation sequence, which is encoded into message tags so
+// back-to-back collectives can never cross-match even if the transport
+// reorders differently sized messages.
+//
+// Tree-based algorithms (binomial broadcast/reduce/barrier) keep the
+// collectives O(log P) in message rounds, matching the paper's assumption
+// that collectives are cheap relative to data transfers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "runtime/process_context.hpp"
+#include "util/check.hpp"
+
+namespace ccf::collectives {
+
+using runtime::MatchSpec;
+using runtime::Message;
+using runtime::Payload;
+using runtime::ProcessContext;
+using runtime::ProcId;
+using runtime::Tag;
+
+/// Tag space layout: collectives own tags >= kCollectiveTagBase; the
+/// coupling framework and applications use smaller tags.
+inline constexpr Tag kCollectiveTagBase = 1 << 24;
+
+class Communicator {
+ public:
+  /// `members` lists the global process ids in rank order; `ctx.id()` must
+  /// appear exactly once. `color` separates concurrent communicators that
+  /// share processes (like MPI communicator contexts).
+  Communicator(ProcessContext& ctx, std::vector<ProcId> members, int color = 0);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  ProcId proc_at(int r) const;
+  const std::vector<ProcId>& members() const { return members_; }
+  ProcessContext& ctx() { return ctx_; }
+
+  // -- point-to-point by rank (not sequence-numbered; caller picks tags) --
+  template <typename T>
+  void send_to(int dst_rank, Tag tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ctx_.send(proc_at(dst_rank), tag, bytes_of(data.data(), data.size() * sizeof(T)));
+  }
+
+  template <typename T>
+  std::vector<T> recv_from(int src_rank, Tag tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = ctx_.recv(MatchSpec{proc_at(src_rank), tag});
+    return typed_of<T>(m.payload);
+  }
+
+  // -- collectives ---------------------------------------------------------
+
+  /// Synchronizes all members (binomial gather + release tree).
+  void barrier();
+
+  /// Replicates root's `data` to every member (binomial tree).
+  template <typename T>
+  void broadcast(std::vector<T>& data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf = raw_of(data.data(), data.size() * sizeof(T));
+    bcast_bytes(buf, root);
+    data = from_raw<T>(buf);
+  }
+
+  /// Concatenates members' buffers in rank order at root; other ranks get
+  /// an empty result. Variable per-rank sizes are allowed (MPI_Gatherv).
+  template <typename T>
+  std::vector<T> gather(const std::vector<T>& local, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto parts = gather_bytes(raw_of(local.data(), local.size() * sizeof(T)), root);
+    std::vector<T> out;
+    for (const auto& part : parts) {
+      auto typed = from_raw<T>(part);
+      out.insert(out.end(), typed.begin(), typed.end());
+    }
+    return out;
+  }
+
+  /// gather() + broadcast of the concatenation to all members.
+  template <typename T>
+  std::vector<T> all_gather(const std::vector<T>& local) {
+    std::vector<T> out = gather(local, 0);
+    broadcast(out, 0);
+    return out;
+  }
+
+  /// Root splits `all` into size() consecutive chunks of `chunk` elements;
+  /// each member receives its rank's chunk.
+  template <typename T>
+  std::vector<T> scatter(const std::vector<T>& all, std::size_t chunk, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank_ == root) {
+      CCF_REQUIRE(all.size() == chunk * static_cast<std::size_t>(size()),
+                  "scatter size " << all.size() << " != " << chunk << " x " << size());
+    }
+    std::vector<std::byte> raw =
+        rank_ == root ? raw_of(all.data(), all.size() * sizeof(T)) : std::vector<std::byte>{};
+    auto mine = scatter_bytes(raw, chunk * sizeof(T), root);
+    return from_raw<T>(mine);
+  }
+
+  /// Element-wise reduction into root's `data`; other ranks' data is
+  /// unchanged. All members must pass equal-length vectors.
+  template <typename T, typename Op>
+  void reduce(std::vector<T>& data, int root, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto combine = [&op](void* inout, const void* in, std::size_t count) {
+      T* a = static_cast<T*>(inout);
+      const T* b = static_cast<const T*>(in);
+      for (std::size_t i = 0; i < count; ++i) a[i] = op(a[i], b[i]);
+    };
+    std::vector<std::byte> buf = raw_of(data.data(), data.size() * sizeof(T));
+    reduce_bytes(buf, sizeof(T), root, combine);
+    if (rank_ == root) data = from_raw<T>(buf);
+  }
+
+  /// reduce() + broadcast: every member ends with the reduction.
+  template <typename T, typename Op>
+  void all_reduce(std::vector<T>& data, Op op) {
+    reduce(data, 0, op);
+    broadcast(data, 0);
+  }
+
+  /// Scalar convenience form of all_reduce.
+  template <typename T, typename Op>
+  T all_reduce_one(T value, Op op) {
+    std::vector<T> v{value};
+    all_reduce(v, op);
+    return v[0];
+  }
+
+  /// Inclusive prefix reduction in rank order (linear chain).
+  template <typename T, typename Op>
+  void scan(std::vector<T>& data, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Tag tag = next_tag(OpCode::Scan);
+    if (rank_ > 0) {
+      Message m = ctx_.recv(MatchSpec{proc_at(rank_ - 1), tag});
+      auto prev = typed_of<T>(m.payload);
+      CCF_CHECK(prev.size() == data.size(), "scan length mismatch");
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] = op(prev[i], data[i]);
+    }
+    if (rank_ + 1 < size()) {
+      ctx_.send(proc_at(rank_ + 1), tag, bytes_of(data.data(), data.size() * sizeof(T)));
+    }
+  }
+
+  /// Splits the communicator into disjoint sub-communicators
+  /// (MPI_Comm_split): members passing the same `color` form a new group,
+  /// ordered by (key, old rank). `tag_color` selects the new
+  /// communicator's tag space and must be unique among communicators this
+  /// process uses concurrently; pass a distinct small integer per split.
+  Communicator split(int color, int key, int tag_color);
+
+  /// Exclusive prefix reduction: rank r ends with op-fold of ranks < r;
+  /// rank 0 gets `init` (MPI_Exscan with a defined rank-0 value).
+  template <typename T, typename Op>
+  void exclusive_scan(std::vector<T>& data, const T& init, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Tag tag = next_tag(OpCode::Scan);
+    std::vector<T> carry(data.size(), init);
+    if (rank_ > 0) {
+      Message m = ctx_.recv(MatchSpec{proc_at(rank_ - 1), tag});
+      carry = typed_of<T>(m.payload);
+      CCF_CHECK(carry.size() == data.size(), "exscan length mismatch");
+    }
+    if (rank_ + 1 < size()) {
+      std::vector<T> forward(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) forward[i] = op(carry[i], data[i]);
+      ctx_.send(proc_at(rank_ + 1), tag, bytes_of(forward.data(), forward.size() * sizeof(T)));
+    }
+    data = std::move(carry);
+  }
+
+  /// Element-wise reduction of equal-length vectors followed by a scatter
+  /// of consecutive `chunk`-element pieces: rank r returns elements
+  /// [r*chunk, (r+1)*chunk) of the global reduction (MPI_Reduce_scatter
+  /// with equal counts).
+  template <typename T, typename Op>
+  std::vector<T> reduce_scatter(const std::vector<T>& data, std::size_t chunk, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CCF_REQUIRE(data.size() == chunk * static_cast<std::size_t>(size()),
+                "reduce_scatter size " << data.size() << " != chunk " << chunk << " x "
+                                       << size());
+    std::vector<T> reduced = data;
+    reduce(reduced, 0, op);
+    return scatter(reduced, chunk, 0);
+  }
+
+  /// Personalized all-to-all: sendbufs[r] goes to rank r; returns the
+  /// buffers received from each rank (recv[r] came from rank r).
+  template <typename T>
+  std::vector<std::vector<T>> all_to_all(const std::vector<std::vector<T>>& sendbufs) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    CCF_REQUIRE(sendbufs.size() == static_cast<std::size_t>(size()),
+                "all_to_all needs one send buffer per rank");
+    const Tag tag = next_tag(OpCode::AllToAll);
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      ctx_.send(proc_at(r), tag, bytes_of(sendbufs[static_cast<std::size_t>(r)].data(),
+                                          sendbufs[static_cast<std::size_t>(r)].size() * sizeof(T)));
+    }
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank_)] = sendbufs[static_cast<std::size_t>(rank_)];
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      Message m = ctx_.recv(MatchSpec{proc_at(r), tag});
+      out[static_cast<std::size_t>(r)] = typed_of<T>(m.payload);
+    }
+    return out;
+  }
+
+ private:
+  enum class OpCode : std::uint8_t {
+    Barrier = 1,
+    Bcast,
+    Gather,
+    Scatter,
+    Reduce,
+    Scan,
+    AllToAll,
+  };
+
+  /// Allocates the tag for the next collective call. All members call
+  /// collectives in the same order, so their counters agree.
+  Tag next_tag(OpCode op);
+
+  // Byte-level implementations (in communicator.cpp).
+  void bcast_bytes(std::vector<std::byte>& buf, int root);
+  std::vector<std::vector<std::byte>> gather_bytes(std::vector<std::byte> local, int root);
+  std::vector<std::byte> scatter_bytes(const std::vector<std::byte>& all, std::size_t chunk_bytes,
+                                       int root);
+  using CombineFn = std::function<void(void* inout, const void* in, std::size_t count)>;
+  void reduce_bytes(std::vector<std::byte>& buf, std::size_t elem_size, int root,
+                    const CombineFn& combine);
+
+  // Payload helpers.
+  static Payload bytes_of(const void* data, std::size_t bytes);
+  static std::vector<std::byte> raw_of(const void* data, std::size_t bytes);
+
+  template <typename T>
+  static std::vector<T> typed_of(const Payload& p) {
+    CCF_CHECK(p != nullptr && p->size() % sizeof(T) == 0,
+              "payload size not a multiple of element size");
+    std::vector<T> out(p->size() / sizeof(T));
+    std::memcpy(out.data(), p->data(), p->size());
+    return out;
+  }
+
+  template <typename T>
+  static std::vector<T> from_raw(const std::vector<std::byte>& raw) {
+    CCF_CHECK(raw.size() % sizeof(T) == 0, "byte buffer size not a multiple of element size");
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  ProcessContext& ctx_;
+  std::vector<ProcId> members_;
+  int rank_ = -1;
+  int color_ = 0;
+  std::uint32_t seq_ = 0;
+};
+
+}  // namespace ccf::collectives

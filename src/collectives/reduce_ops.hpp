@@ -1,0 +1,53 @@
+// Reduction operators for the collective library.
+//
+// Modeled after MPI's built-in ops; each is a stateless callable combining
+// two elements. Used with Communicator::reduce/all_reduce/scan.
+#pragma once
+
+#include <algorithm>
+
+namespace ccf::collectives {
+
+struct Sum {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+
+struct Prod {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a * b;
+  }
+};
+
+struct Min {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return std::min(a, b);
+  }
+};
+
+struct Max {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return std::max(a, b);
+  }
+};
+
+struct LogicalAnd {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return static_cast<T>(a && b);
+  }
+};
+
+struct LogicalOr {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return static_cast<T>(a || b);
+  }
+};
+
+}  // namespace ccf::collectives

@@ -1,0 +1,100 @@
+#include "core/buffer_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ccf::core {
+
+double BufferPool::store(Timestamp t, const double* src, std::size_t count, ConnMask needed,
+                         runtime::ProcessContext& ctx) {
+  CCF_REQUIRE(needed != 0, "storing a snapshot nobody needs");
+  CCF_REQUIRE(!entries_.count(t), "timestamp " << t << " already buffered");
+  Entry entry;
+  entry.data.resize(count);
+  const std::size_t bytes = count * sizeof(double);
+  const double before = ctx.now();
+  ctx.copy(entry.data.data(), src, bytes);  // the memcpy the paper counts
+  entry.cost_seconds = ctx.now() - before;
+  entry.needed = needed;
+
+  ++stats_.stores;
+  stats_.bytes_copied += bytes;
+  stats_.seconds_buffering += entry.cost_seconds;
+  ++stats_.live_entries;
+  stats_.live_bytes += bytes;
+  stats_.peak_entries = std::max(stats_.peak_entries, stats_.live_entries);
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+
+  const double cost = entry.cost_seconds;
+  entries_.emplace(t, std::move(entry));
+  return cost;
+}
+
+const std::vector<double>& BufferPool::snapshot(Timestamp t) const {
+  auto it = entries_.find(t);
+  CCF_CHECK(it != entries_.end(), "no buffered snapshot for timestamp " << t);
+  return it->second.data;
+}
+
+void BufferPool::mark_sent(Timestamp t, int conn_index) {
+  auto it = entries_.find(t);
+  CCF_CHECK(it != entries_.end(), "mark_sent on absent timestamp " << t);
+  CCF_CHECK(conn_index >= 0 && conn_index < 32, "connection index " << conn_index << " out of range");
+  it->second.ever_sent = true;
+  ++stats_.sends;
+}
+
+void BufferPool::free_entry_locked(std::map<Timestamp, Entry>::iterator it) {
+  const std::size_t bytes = it->second.data.size() * sizeof(double);
+  if (it->second.ever_sent) {
+    ++stats_.frees_sent;
+  } else {
+    ++stats_.frees_unsent;
+    stats_.seconds_unnecessary += it->second.cost_seconds;
+  }
+  --stats_.live_entries;
+  stats_.live_bytes -= bytes;
+  entries_.erase(it);
+}
+
+std::optional<BufferPool::Freed> BufferPool::drop(Timestamp t, int conn_index) {
+  auto it = entries_.find(t);
+  if (it == entries_.end()) return std::nullopt;
+  it->second.needed &= ~(ConnMask{1} << conn_index);
+  if (it->second.needed != 0) return std::nullopt;
+  Freed freed{it->first, it->second.cost_seconds, it->second.ever_sent};
+  free_entry_locked(it);
+  return freed;
+}
+
+std::vector<BufferPool::Freed> BufferPool::drop_below(Timestamp t, int conn_index) {
+  std::vector<Freed> out;
+  for (auto it = entries_.begin(); it != entries_.end() && it->first < t;) {
+    auto cur = it++;
+    cur->second.needed &= ~(ConnMask{1} << conn_index);
+    if (cur->second.needed == 0) {
+      out.push_back(Freed{cur->first, cur->second.cost_seconds, cur->second.ever_sent});
+      free_entry_locked(cur);
+    }
+  }
+  return out;
+}
+
+std::vector<Timestamp> BufferPool::buffered_timestamps() const {
+  std::vector<Timestamp> out;
+  out.reserve(entries_.size());
+  for (const auto& [t, e] : entries_) out.push_back(t);
+  return out;
+}
+
+std::vector<Timestamp> BufferPool::buffered_below(Timestamp t, int conn_index) const {
+  std::vector<Timestamp> out;
+  for (const auto& [ts, e] : entries_) {
+    if (ts >= t) break;
+    if (e.needed & (ConnMask{1} << conn_index)) out.push_back(ts);
+  }
+  return out;
+}
+
+}  // namespace ccf::core

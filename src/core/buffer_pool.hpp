@@ -1,0 +1,103 @@
+// Export-side versioned data buffering (paper §3, §4.1).
+//
+// The temporal-consistency model requires an exporting process to keep a
+// snapshot of each exported data object until the framework can prove no
+// importer request can ever match it. BufferPool holds those snapshots,
+// keyed by timestamp, with a per-connection "may still be needed" bitmask
+// (one region can feed several importing programs; a snapshot is freed
+// when no connection needs it).
+//
+// The pool charges the modeled copy cost through ProcessContext::copy, so
+// the virtual-time experiments see the same buffering cost structure the
+// paper measures, and tracks Eq.(1)/(2) accounting: the cost of snapshots
+// that were freed without ever being transferred is the "unnecessary
+// buffering time" T_ub that buddy-help attacks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/timestamp.hpp"
+#include "runtime/process_context.hpp"
+
+namespace ccf::core {
+
+using ConnMask = std::uint32_t;
+
+struct BufferStats {
+  std::uint64_t stores = 0;         ///< snapshots copied into the pool
+  std::uint64_t skips = 0;          ///< exports that avoided the copy entirely
+  std::uint64_t frees_unsent = 0;   ///< snapshots freed without any transfer
+  std::uint64_t frees_sent = 0;     ///< snapshots freed after >= 1 transfer
+  std::uint64_t sends = 0;          ///< per-connection transfers served
+  std::uint64_t bytes_copied = 0;
+  double seconds_buffering = 0;     ///< modeled cost of all stores
+  double seconds_unnecessary = 0;   ///< modeled cost of unsent stores (T_ub)
+  std::size_t peak_entries = 0;
+  std::size_t peak_bytes = 0;
+
+  std::size_t live_entries = 0;  ///< maintained by the pool
+  std::size_t live_bytes = 0;
+};
+
+class BufferPool {
+ public:
+  /// Snapshots `count` doubles from `src` for timestamp `t`, needed by the
+  /// connections in `needed`. Charges the copy through `ctx`. Returns the
+  /// modeled cost in seconds.
+  double store(Timestamp t, const double* src, std::size_t count, ConnMask needed,
+               runtime::ProcessContext& ctx);
+
+  /// Records an export that skipped buffering (for the stats only).
+  void note_skip() { ++stats_.skips; }
+
+  bool has(Timestamp t) const { return entries_.count(t) > 0; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Snapshot data for a transfer; throws if absent.
+  const std::vector<double>& snapshot(Timestamp t) const;
+
+  /// Marks a per-connection transfer of entry `t` as performed.
+  void mark_sent(Timestamp t, int conn_index);
+
+  /// Details of an entry fully freed by a drop call; used by the exporter
+  /// state for Eq.(1) attribution and trace emission.
+  struct Freed {
+    Timestamp t = 0;
+    double cost_seconds = 0;
+    bool was_sent = false;
+  };
+
+  /// Connection `conn_index` no longer needs entry `t`; frees the entry
+  /// when no connection needs it (returned). No-op if absent.
+  std::optional<Freed> drop(Timestamp t, int conn_index);
+
+  /// Connection no longer needs any entry with timestamp < `t`. Returns
+  /// the entries that became fully free, ascending.
+  std::vector<Freed> drop_below(Timestamp t, int conn_index);
+
+  /// Timestamps currently buffered (ascending).
+  std::vector<Timestamp> buffered_timestamps() const;
+
+  /// Timestamps < t buffered and still needed by `conn_index` (ascending).
+  std::vector<Timestamp> buffered_below(Timestamp t, int conn_index) const;
+
+  const BufferStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::vector<double> data;
+    ConnMask needed = 0;
+    bool ever_sent = false;
+    double cost_seconds = 0;
+  };
+
+  void free_entry_locked(std::map<Timestamp, Entry>::iterator it);
+
+  std::map<Timestamp, Entry> entries_;
+  BufferStats stats_;
+};
+
+}  // namespace ccf::core

@@ -1,0 +1,86 @@
+// Framework-level configuration (paper §3.1, Figure 2).
+//
+// The configuration is separate from all user programs: it lists the
+// participating programs (name, host, executable, process count) and the
+// directed connections between exported and imported regions, each with a
+// match policy and tolerance:
+//
+//   P0 cluster0 /home/meou/bin/P0 16
+//   P1 cluster1 /home/meou/bin/P1 8
+//   #
+//   P0.r1 P1.r1 REGL 0.2
+//
+// Lines that are exactly "#" separate the two sections; lines starting
+// with "#" otherwise are comments. Validation detects incorrect coupling
+// specifications early (e.g. a connection naming an undeclared program, or
+// two exporters feeding one imported region).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/match_policy.hpp"
+#include "dist/box.hpp"
+
+namespace ccf::core {
+
+struct ProgramSpec {
+  std::string name;
+  std::string host;
+  std::string executable;
+  int nprocs = 0;
+  std::vector<std::string> extra_args;
+};
+
+struct ConnectionSpec {
+  std::string exporter_program;
+  std::string exporter_region;
+  std::string importer_program;
+  std::string importer_region;
+  MatchPolicy policy = MatchPolicy::REGL;
+  double tolerance = 0;
+
+  /// Optional sub-region of the exporter's domain carried by this
+  /// connection (the paper's "shared boundaries or overlapped regions"):
+  /// the importer's whole region maps onto this window, so the window's
+  /// dimensions must equal the imported region's dimensions. Config file
+  /// syntax appends 4 integers: row_begin row_end col_begin col_end.
+  /// Absent -> the whole exporter domain is transferred (dims must match).
+  std::optional<dist::Box> exporter_window;
+};
+
+class Config {
+ public:
+  static Config parse_string(const std::string& text);
+  static Config parse_file(const std::string& path);
+
+  /// Programmatic construction (used by tests and benches).
+  void add_program(ProgramSpec spec);
+  void add_connection(ConnectionSpec spec);
+
+  /// Cross-checks the specification; throws InvalidArgument on problems.
+  void validate() const;
+
+  const std::vector<ProgramSpec>& programs() const { return programs_; }
+  const std::vector<ConnectionSpec>& connections() const { return connections_; }
+
+  const ProgramSpec& program(const std::string& name) const;
+  bool has_program(const std::string& name) const;
+
+  /// Connection index in connections() order; used as the wire conn id.
+  std::vector<int> connections_exporting(const std::string& program,
+                                         const std::string& region) const;
+  std::optional<int> connection_importing(const std::string& program,
+                                          const std::string& region) const;
+  std::vector<int> connections_of_exporter_program(const std::string& program) const;
+  std::vector<int> connections_of_importer_program(const std::string& program) const;
+
+  std::string summary() const;
+
+ private:
+  std::vector<ProgramSpec> programs_;
+  std::vector<ConnectionSpec> connections_;
+};
+
+}  // namespace ccf::core

@@ -1,0 +1,402 @@
+#include "core/coupling_runtime.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace ccf::core {
+
+using runtime::MatchSpec;
+using runtime::Message;
+using transport::kAnyTag;
+using transport::Reader;
+using transport::Writer;
+
+CouplingRuntime::CouplingRuntime(runtime::ProcessContext& ctx, const Config& config,
+                                 const DeploymentLayout& layout, std::string program_name,
+                                 int rank, FrameworkOptions options)
+    : ctx_(ctx),
+      config_(config),
+      layout_(layout),
+      program_(std::move(program_name)),
+      rank_(rank),
+      options_(options) {
+  const ProgramLayout& pl = layout_.program(program_);
+  CCF_REQUIRE(rank_ >= 0 && rank_ < pl.nprocs,
+              "rank " << rank_ << " outside program " << program_);
+  CCF_REQUIRE(ctx_.id() == pl.proc(rank_),
+              "process id " << ctx_.id() << " does not match layout for " << program_
+                            << " rank " << rank_);
+  rep_ = pl.rep;
+}
+
+void CouplingRuntime::define_export_region(const std::string& name,
+                                           const dist::BlockDecomposition& decomp) {
+  CCF_REQUIRE(!committed_, "define_export_region after commit()");
+  CCF_REQUIRE(!export_regions_.count(name) && !import_regions_.count(name),
+              "region '" << name << "' defined twice");
+  CCF_REQUIRE(decomp.nprocs() == layout_.program(program_).nprocs,
+              "region decomposition uses " << decomp.nprocs() << " processes, program has "
+                                           << layout_.program(program_).nprocs);
+  export_regions_.emplace(name, ExportRegion{decomp, nullptr, 0});
+}
+
+void CouplingRuntime::define_import_region(const std::string& name,
+                                           const dist::BlockDecomposition& decomp) {
+  CCF_REQUIRE(!committed_, "define_import_region after commit()");
+  CCF_REQUIRE(!export_regions_.count(name) && !import_regions_.count(name),
+              "region '" << name << "' defined twice");
+  CCF_REQUIRE(decomp.nprocs() == layout_.program(program_).nprocs,
+              "region decomposition uses " << decomp.nprocs() << " processes, program has "
+                                           << layout_.program(program_).nprocs);
+  ImportRegion region(decomp);
+  region.stats.region = name;
+  import_regions_.emplace(name, std::move(region));
+}
+
+void CouplingRuntime::commit() {
+  CCF_REQUIRE(!committed_, "commit() called twice");
+  committed_ = true;
+
+  // Rank 0 ships the program's region definitions to the rep, which
+  // validates them against the configuration and swaps geometry with the
+  // connected programs' reps.
+  if (rank_ == 0) {
+    Writer w;
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(export_regions_.size()));
+    for (const auto& [name, region] : export_regions_) {
+      RegionMeta meta{name, region.decomp.rows(), region.decomp.cols(),
+                      region.decomp.proc_rows(), region.decomp.proc_cols()};
+      meta.encode_into(w);
+    }
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(import_regions_.size()));
+    for (const auto& [name, region] : import_regions_) {
+      RegionMeta meta{name, region.decomp.rows(), region.decomp.cols(),
+                      region.decomp.proc_rows(), region.decomp.proc_cols()};
+      meta.encode_into(w);
+    }
+    ctx_.send(rep_, kTagRegionDefs, w.take());
+  }
+
+  // Every process receives the peer-geometry broadcast:
+  //   u32 n; n x { u32 conn, RegionMeta peer } (export conns then import
+  //   conns of this program, any order — keyed by conn id).
+  Message m = ctx_.recv(MatchSpec{rep_, kTagRegionMetaBcast});
+  Reader r(m.payload);
+  std::map<std::uint32_t, RegionMeta> peer_meta;
+  const auto n = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto conn = r.get<std::uint32_t>();
+    peer_meta.emplace(conn, RegionMeta::decode_from(r));
+  }
+
+  // Build export-side state machines.
+  for (auto& [name, region] : export_regions_) {
+    const auto conn_ids = config_.connections_exporting(program_, name);
+    if (conn_ids.empty()) continue;  // unconnected: stays a no-op region
+    std::vector<ExportConnConfig> conn_configs;
+    for (int conn_id : conn_ids) {
+      const ConnectionSpec& spec = config_.connections()[static_cast<std::size_t>(conn_id)];
+      auto it = peer_meta.find(static_cast<std::uint32_t>(conn_id));
+      CCF_CHECK(it != peer_meta.end(), "missing peer metadata for connection " << conn_id);
+      const RegionMeta& peer = it->second;
+      // The transferred window: a sub-box of the exporter domain the
+      // importer's whole region maps onto (default: the whole domain).
+      const dist::Box window = spec.exporter_window.value_or(region.decomp.domain());
+      CCF_REQUIRE(region.decomp.domain().contains(window),
+                  "connection " << conn_id << ": transfer window " << window
+                                << " escapes the exported region's domain");
+      CCF_REQUIRE(peer.rows == window.rows() && peer.cols == window.cols(),
+                  "region dimension mismatch on connection " << conn_id << ": window "
+                      << window.rows() << "x" << window.cols() << ", importer " << peer.rows
+                      << "x" << peer.cols);
+      dist::BlockDecomposition importer_decomp(peer.rows, peer.cols, peer.proc_rows,
+                                               peer.proc_cols);
+      ExportConnConfig cfg{conn_id, spec.policy, spec.tolerance,
+                           dist::RedistSchedule(region.decomp, importer_decomp, window,
+                                                window.row_begin, window.col_begin),
+                           layout_.program(spec.importer_program).proc_ids()};
+      cfg.contributes = !cfg.schedule.sends_of(rank_).empty();
+      conn_configs.push_back(std::move(cfg));
+    }
+    region.state = std::make_unique<ExportRegionState>(
+        name, region.decomp.box_of(rank_), rank_, std::move(conn_configs), options_, rep_);
+  }
+
+  // Build import-side schedules.
+  for (auto& [name, region] : import_regions_) {
+    const auto conn = config_.connection_importing(program_, name);
+    CCF_CHECK(conn.has_value(),
+              "import region '" << name << "' survived validation without an exporter");
+    region.conn_id = *conn;
+    const ConnectionSpec& spec = config_.connections()[static_cast<std::size_t>(*conn)];
+    auto it = peer_meta.find(static_cast<std::uint32_t>(*conn));
+    CCF_CHECK(it != peer_meta.end(), "missing peer metadata for connection " << *conn);
+    const RegionMeta& peer = it->second;
+    dist::BlockDecomposition exporter_decomp(peer.rows, peer.cols, peer.proc_rows,
+                                             peer.proc_cols);
+    const dist::Box window =
+        spec.exporter_window.value_or(dist::Box{0, peer.rows, 0, peer.cols});
+    CCF_REQUIRE((dist::Box{0, peer.rows, 0, peer.cols}.contains(window)),
+                "connection " << *conn << ": transfer window " << window
+                              << " escapes the exporter's domain");
+    CCF_REQUIRE(window.rows() == region.decomp.rows() && window.cols() == region.decomp.cols(),
+                "region dimension mismatch on connection " << *conn << ": window "
+                    << window.rows() << "x" << window.cols() << ", imported region "
+                    << region.decomp.rows() << "x" << region.decomp.cols());
+    region.schedule = std::make_unique<dist::RedistSchedule>(
+        exporter_decomp, region.decomp, window, window.row_begin, window.col_begin);
+    region.exporter_procs = layout_.program(spec.exporter_program).proc_ids();
+  }
+}
+
+AnswerMsg CouplingRuntime::await_answer(int conn_id) {
+  // Check answers parked by earlier waits on other connections.
+  auto stash = stashed_answers_.find(conn_id);
+  if (stash != stashed_answers_.end() && !stash->second.empty()) {
+    AnswerMsg answer = stash->second.front();
+    stash->second.pop_front();
+    return answer;
+  }
+  // While blocked on our own import we keep serving framework traffic —
+  // in bidirectional couplings the peer's request may need this very
+  // process's response before the peer can produce the data we wait for.
+  for (;;) {
+    Message m = ctx_.recv(MatchSpec{rep_, transport::kAnyTag});
+    if (m.tag == import_answer_tag(conn_id)) return AnswerMsg::decode(m.payload);
+    if (m.tag >= kTagImportAnswerBase && m.tag < kTagDataBase) {
+      const AnswerMsg other = AnswerMsg::decode(m.payload);
+      stashed_answers_[static_cast<int>(other.conn)].push_back(other);
+      continue;
+    }
+    if (m.tag == kTagShutdownProc) {
+      // Cannot happen while an import is outstanding on a live system;
+      // remember it defensively for finalize().
+      shutdown_seen_ = true;
+      continue;
+    }
+    handle_control(m);
+  }
+}
+
+ExportRegionState* CouplingRuntime::state_for_conn(std::uint32_t conn) {
+  for (auto& [name, region] : export_regions_) {
+    if (region.state && region.state->handles_conn(conn)) return region.state.get();
+  }
+  return nullptr;
+}
+
+void CouplingRuntime::handle_control(const Message& m) {
+  switch (m.tag) {
+    case kTagProcForward: {
+      const RequestMsg req = RequestMsg::decode(m.payload);
+      ExportRegionState* state = state_for_conn(req.conn);
+      CCF_CHECK(state != nullptr, "forwarded request for unknown connection " << req.conn);
+      state->on_forwarded_request(req, ctx_);
+      break;
+    }
+    case kTagBuddyHelp: {
+      const AnswerMsg help = AnswerMsg::decode(m.payload);
+      ExportRegionState* state = state_for_conn(help.conn);
+      CCF_CHECK(state != nullptr, "buddy-help for unknown connection " << help.conn);
+      state->on_buddy_help(help, ctx_);
+      break;
+    }
+    case kTagConnClosed: {
+      const ConnMsg msg = ConnMsg::decode(m.payload);
+      ExportRegionState* state = state_for_conn(msg.conn);
+      CCF_CHECK(state != nullptr, "conn-closed for unknown connection " << msg.conn);
+      state->on_conn_closed(msg.conn, ctx_);
+      break;
+    }
+    default:
+      throw util::InternalError("unexpected control tag " + std::to_string(m.tag) +
+                                " at process " + std::to_string(ctx_.id()));
+  }
+}
+
+void CouplingRuntime::drain_control() {
+  // Consume rep->proc traffic in arrival order; tag wildcarding preserves
+  // the FIFO the skip rules rely on (a request's buddy-help precedes the
+  // next forwarded request in the rep's send order).
+  while (auto m = ctx_.try_recv(MatchSpec{rep_, kAnyTag})) {
+    if (m->tag == kTagShutdownProc) {
+      // All connected programs already finished; remember it for
+      // finalize()'s service loop and keep exporting.
+      shutdown_seen_ = true;
+      continue;
+    }
+    handle_control(*m);
+  }
+}
+
+void CouplingRuntime::export_region(const std::string& name, Timestamp t,
+                                    const dist::DistArray2D<double>& data) {
+  CCF_REQUIRE(committed_, "export before commit()");
+  CCF_REQUIRE(!finalized_, "export after finalize()");
+  auto it = export_regions_.find(name);
+  CCF_REQUIRE(it != export_regions_.end(), "export of undefined region '" << name << "'");
+  ExportRegion& region = it->second;
+  CCF_REQUIRE(data.decomposition() == region.decomp && data.rank() == rank_,
+              "exported array layout does not match region '" << name << "'");
+
+  const double start = ctx_.now();
+  if (region.state == nullptr) {
+    // Exported region nobody imports: the framework does no buffering at
+    // all (the paper's low-overhead path).
+    ++region.unconnected_exports;
+    return;
+  }
+  drain_control();
+
+  // Finite buffer space (paper §6): when the next snapshot would exceed
+  // the cap, block on framework traffic — an import request advances the
+  // low-water mark and frees snapshots; an importer departure releases a
+  // whole connection. Stalling is skipped when this process itself must
+  // advance to unblock the system (see ExportRegionState::safe_to_stall).
+  if (options_.max_buffered_bytes > 0) {
+    while (region.state->buffered_bytes() + region.state->snapshot_bytes() >
+               options_.max_buffered_bytes &&
+           region.state->safe_to_stall() && !shutdown_seen_) {
+      const double stall_start = ctx_.now();
+      Message m = ctx_.recv(MatchSpec{rep_, kAnyTag});
+      if (m.tag == kTagShutdownProc) {
+        shutdown_seen_ = true;
+      } else {
+        handle_control(m);
+      }
+      region.state->record_stall(ctx_.now() - stall_start);
+    }
+  }
+
+  region.state->on_export(t, data.data(), ctx_);
+  region.state->record_export_duration(t, ctx_.now() - start);
+}
+
+CouplingRuntime::ImportTicket CouplingRuntime::import_request(const std::string& name,
+                                                              Timestamp x) {
+  CCF_REQUIRE(committed_, "import before commit()");
+  CCF_REQUIRE(!finalized_, "import after finalize()");
+  auto it = import_regions_.find(name);
+  CCF_REQUIRE(it != import_regions_.end(), "import of undefined region '" << name << "'");
+  ImportRegion& region = it->second;
+  CCF_REQUIRE(x > region.last_request,
+              "import request timestamps must increase: " << x << " after "
+                                                          << region.last_request);
+  region.last_request = x;
+
+  const std::uint32_t seq = region.next_seq++;
+  if (rank_ == 0) {
+    RequestMsg req{static_cast<std::uint32_t>(region.conn_id), seq, x};
+    ctx_.send(rep_, kTagImportRequest, req.encode());
+  }
+  return ImportTicket{name, seq, x};
+}
+
+CouplingRuntime::ImportStatus CouplingRuntime::import_wait(const ImportTicket& ticket,
+                                                           dist::DistArray2D<double>& out) {
+  auto it = import_regions_.find(ticket.region);
+  CCF_REQUIRE(it != import_regions_.end(),
+              "import_wait on undefined region '" << ticket.region << "'");
+  ImportRegion& region = it->second;
+  CCF_REQUIRE(out.decomposition() == region.decomp && out.rank() == rank_,
+              "import target layout does not match region '" << ticket.region << "'");
+  CCF_REQUIRE(ticket.seq == region.next_wait_seq,
+              "import_wait out of order on region '"
+                  << ticket.region << "': ticket seq " << ticket.seq << ", expected "
+                  << region.next_wait_seq << " (waits must follow issue order)");
+  CCF_REQUIRE(ticket.seq < region.next_seq, "import_wait on a ticket never issued");
+  ++region.next_wait_seq;
+
+  const double start = ctx_.now();
+  const AnswerMsg answer = await_answer(region.conn_id);
+  CCF_CHECK(answer.conn == static_cast<std::uint32_t>(region.conn_id) &&
+                answer.seq == ticket.seq,
+            "import answer out of order: got conn " << answer.conn << " seq " << answer.seq
+                                                    << ", expected seq " << ticket.seq);
+
+  ImportStatus status;
+  status.result = answer.result;
+  status.matched = answer.matched;
+  ++region.stats.imports;
+  if (answer.result == MatchResult::Match) {
+    dist::execute_recvs(ctx_, *region.schedule, rank_, region.exporter_procs,
+                        data_tag(region.conn_id, ticket.seq), out);
+    ++region.stats.matches;
+    region.stats.matched_timestamps.push_back(answer.matched);
+  } else {
+    ++region.stats.no_matches;
+  }
+  region.stats.import_seconds.push_back(ctx_.now() - start);
+  return status;
+}
+
+CouplingRuntime::ImportStatus CouplingRuntime::import_region(const std::string& name,
+                                                             Timestamp x,
+                                                             dist::DistArray2D<double>& out) {
+  const ImportTicket ticket = import_request(name, x);
+  return import_wait(ticket, out);
+}
+
+std::size_t CouplingRuntime::pending_imports(const std::string& name) const {
+  auto it = import_regions_.find(name);
+  CCF_REQUIRE(it != import_regions_.end(), "unknown import region '" << name << "'");
+  return it->second.next_seq - it->second.next_wait_seq;
+}
+
+void CouplingRuntime::finalize() {
+  CCF_REQUIRE(committed_, "finalize before commit()");
+  CCF_REQUIRE(!finalized_, "finalize() called twice");
+  for (const auto& [name, region] : import_regions_) {
+    CCF_REQUIRE(region.next_wait_seq == region.next_seq,
+                "finalize with " << (region.next_seq - region.next_wait_seq)
+                                 << " unfinished pipelined imports on region '" << name << "'");
+  }
+  finalized_ = true;
+
+  for (auto& [name, region] : export_regions_) {
+    if (region.state) region.state->finalize(ctx_);
+  }
+  if (rank_ == 0) {
+    for (int conn : config_.connections_of_importer_program(program_)) {
+      ConnMsg msg{static_cast<std::uint32_t>(conn)};
+      ctx_.send(rep_, kTagImporterConnDone, msg.encode());
+    }
+  }
+
+  // Service loop: this process's part of the region data may still be
+  // requested (a slower importer catching up); keep answering until the
+  // rep confirms every connected program finished.
+  while (!shutdown_seen_) {
+    Message m = ctx_.recv(MatchSpec{rep_, kAnyTag});
+    if (m.tag == kTagShutdownProc) break;
+    handle_control(m);
+  }
+  finished_at_ = ctx_.now();
+}
+
+ProcStats CouplingRuntime::stats_snapshot() const {
+  ProcStats stats;
+  for (const auto& [name, region] : export_regions_) {
+    if (region.state) {
+      stats.exports.push_back(region.state->stats_snapshot());
+    } else {
+      ExportRegionStats s;
+      s.region = name;
+      s.exports = region.unconnected_exports;
+      stats.exports.push_back(std::move(s));
+    }
+  }
+  for (const auto& [name, region] : import_regions_) stats.imports.push_back(region.stats);
+  stats.finished_at = finished_at_;
+  return stats;
+}
+
+std::string CouplingRuntime::trace_listing(const std::string& region) const {
+  auto it = export_regions_.find(region);
+  if (it == export_regions_.end() || !it->second.state) return "";
+  return it->second.state->trace().listing();
+}
+
+}  // namespace ccf::core

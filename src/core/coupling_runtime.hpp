@@ -1,0 +1,144 @@
+// The process-side coupling API (paper §3, Figure 1).
+//
+// A program's worker processes construct one CouplingRuntime each, define
+// their regions once, commit() (a collective that exchanges region
+// geometry between programs through the reps), and then export/import as
+// often as they like. finalize() declares end-of-stream and enters the
+// framework service loop until the rep shuts the process down.
+//
+//   CouplingRuntime rt(ctx, config, layout, "F", rank);
+//   rt.define_export_region("r1", decomp);
+//   rt.commit();
+//   for (...) { compute(); rt.export_region("r1", t, data); }
+//   rt.finalize();
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/export_state.hpp"
+#include "core/layout.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "dist/dist_array.hpp"
+#include "dist/redistribute.hpp"
+
+namespace ccf::core {
+
+class CouplingRuntime {
+ public:
+  CouplingRuntime(runtime::ProcessContext& ctx, const Config& config,
+                  const DeploymentLayout& layout, std::string program_name, int rank,
+                  FrameworkOptions options = {});
+
+  /// Declares a region this process will export. The decomposition's rank
+  /// `rank()` block is this process's contribution.
+  void define_export_region(const std::string& name, const dist::BlockDecomposition& decomp);
+
+  /// Declares a region this process will import into.
+  void define_import_region(const std::string& name, const dist::BlockDecomposition& decomp);
+
+  /// Collective: exchanges region geometry with all connected programs
+  /// via the reps and builds the redistribution schedules. Must be called
+  /// once, after all define_* calls and before any export/import.
+  void commit();
+
+  /// Collective export of a new version of the region at timestamp `t`
+  /// (strictly increasing per region). `data` must use the decomposition
+  /// the region was defined with. Unconnected regions are a near-no-op
+  /// (the paper's low-overhead case).
+  void export_region(const std::string& name, Timestamp t, const dist::DistArray2D<double>& data);
+
+  struct ImportStatus {
+    MatchResult result = MatchResult::NoMatch;
+    Timestamp matched = kNeverExported;
+    bool ok() const { return result == MatchResult::Match; }
+  };
+
+  /// Collective import request for timestamp `x` (strictly increasing per
+  /// region). On a match, `out` is filled with the matched version.
+  ImportStatus import_region(const std::string& name, Timestamp x,
+                             dist::DistArray2D<double>& out);
+
+  /// Non-blocking import (paper §6): issues the request and returns
+  /// immediately, letting the importer overlap computation with the
+  /// matching/transfer. Requests may be pipelined; import_wait() must be
+  /// called once per ticket, in issue order per region (collectively).
+  struct ImportTicket {
+    std::string region;
+    std::uint32_t seq = 0;
+    Timestamp requested = 0;
+  };
+
+  ImportTicket import_request(const std::string& name, Timestamp x);
+
+  /// Completes a pipelined import: blocks for the answer (and, on a
+  /// match, the data) of the oldest unfinished ticket of the region.
+  ImportStatus import_wait(const ImportTicket& ticket, dist::DistArray2D<double>& out);
+
+  /// Unfinished pipelined requests on a region.
+  std::size_t pending_imports(const std::string& name) const;
+
+  /// Collective teardown: answers outstanding requests decisively, then
+  /// serves framework traffic until the rep's shutdown message.
+  void finalize();
+
+  int rank() const { return rank_; }
+  const std::string& program() const { return program_; }
+
+  /// Per-process statistics (valid any time; complete after finalize()).
+  ProcStats stats_snapshot() const;
+
+  /// Event-trace listing for an exported region ("" if tracing is off or
+  /// the region is unconnected).
+  std::string trace_listing(const std::string& region) const;
+
+ private:
+  struct ExportRegion {
+    dist::BlockDecomposition decomp;
+    std::unique_ptr<ExportRegionState> state;  ///< null when unconnected
+    std::uint64_t unconnected_exports = 0;
+  };
+
+  struct ImportRegion {
+    explicit ImportRegion(dist::BlockDecomposition d) : decomp(std::move(d)) {}
+    dist::BlockDecomposition decomp;
+    int conn_id = -1;
+    std::unique_ptr<dist::RedistSchedule> schedule;  ///< exporter -> importer
+    std::vector<ProcId> exporter_procs;
+    std::uint32_t next_seq = 0;
+    Timestamp last_request = kNeverExported;
+    std::uint32_t next_wait_seq = 0;  ///< oldest ticket not yet waited on
+    ImportRegionStats stats;
+  };
+
+  /// Processes all queued rep->proc control traffic in arrival order.
+  void drain_control();
+  void handle_control(const runtime::Message& m);
+  ExportRegionState* state_for_conn(std::uint32_t conn);
+
+  /// Blocks for the next import answer on `conn_id`, serving framework
+  /// control traffic meanwhile (deadlock freedom for bidirectional
+  /// couplings) and stashing answers that belong to other connections.
+  AnswerMsg await_answer(int conn_id);
+
+  runtime::ProcessContext& ctx_;
+  const Config& config_;
+  const DeploymentLayout& layout_;
+  std::string program_;
+  int rank_;
+  FrameworkOptions options_;
+  ProcId rep_;
+  bool committed_ = false;
+  bool finalized_ = false;
+  bool shutdown_seen_ = false;
+  std::map<std::string, ExportRegion> export_regions_;
+  std::map<std::string, ImportRegion> import_regions_;
+  std::map<int, std::deque<AnswerMsg>> stashed_answers_;
+  double finished_at_ = 0;
+};
+
+}  // namespace ccf::core

@@ -1,0 +1,410 @@
+#include "core/export_state.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dist/redistribute.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace ccf::core {
+
+ExportRegionState::ExportRegionState(std::string region_name, dist::Box local_box, int my_rank,
+                                     std::vector<ExportConnConfig> conns,
+                                     const FrameworkOptions& options, ProcId rep_id)
+    : name_(std::move(region_name)),
+      local_box_(local_box),
+      my_rank_(my_rank),
+      options_(options),
+      rep_id_(rep_id),
+      trace_("D", options.trace, options.trace_max_events) {
+  stats_.region = name_;
+  conns_.reserve(conns.size());
+  for (auto& cfg : conns) {
+    CCF_REQUIRE(cfg.conn_id >= 0 && cfg.conn_id < 32, "connection id out of mask range");
+    conns_.emplace_back(std::move(cfg));
+  }
+}
+
+bool ExportRegionState::handles_conn(std::uint32_t conn_id) const {
+  for (const auto& c : conns_) {
+    if (static_cast<std::uint32_t>(c.cfg.conn_id) == conn_id) return true;
+  }
+  return false;
+}
+
+std::size_t ExportRegionState::outstanding_requests() const {
+  std::size_t n = 0;
+  for (const auto& c : conns_) n += c.outstanding.size();
+  return n;
+}
+
+ExportRegionState::Conn& ExportRegionState::conn_of(std::uint32_t conn_id) {
+  for (auto& c : conns_) {
+    if (static_cast<std::uint32_t>(c.cfg.conn_id) == conn_id) return c;
+  }
+  throw util::InternalError("region " + name_ + " does not handle connection " +
+                            std::to_string(conn_id));
+}
+
+void ExportRegionState::trace_removed(const std::vector<BufferPool::Freed>& freed,
+                                      ProcessContext& ctx) {
+  if (freed.empty() || !trace_.enabled()) return;
+  trace_.emit(TraceKind::Remove, ctx.now(), freed.front().t, freed.back().t);
+}
+
+void ExportRegionState::on_export(Timestamp t, const double* local_block, ProcessContext& ctx) {
+  ++stats_.exports;
+
+  // Phase 1: decide, per connection, whether this version must be kept.
+  ConnMask needed = 0;
+  struct Supersede {
+    Conn* conn;
+    Timestamp old_candidate;
+    Outstanding* request;
+  };
+  std::vector<Supersede> superseded;
+
+  for (auto& c : conns_) {
+    c.history.record(t);
+    bool need = false;
+    if (!c.cfg.contributes) {
+      // Outside this connection's transfer window: nothing of this
+      // process's block can ever be shipped on it.
+      need = false;
+    } else if (!c.pending_sends.empty() && c.pending_sends.front().match == t) {
+      // This is the announced match we have been waiting to produce
+      // (buddy-help told us before the export happened, Fig. 5 line 14).
+      need = true;
+    } else if (t < c.low_water) {
+      // Below every region any current or future request can name.
+      need = false;
+    } else {
+      Outstanding* covering = nullptr;
+      for (auto& o : c.outstanding) {
+        if (o.region.contains(t)) {
+          covering = &o;
+          break;
+        }
+      }
+      if (covering != nullptr) {
+        // Inside an unresolved region: a candidate. A newly exported
+        // better candidate supersedes (frees) the previous one (Fig. 8
+        // lines 9-18).
+        need = true;
+        if (!covering->candidate ||
+            better_match(t, *covering->candidate, covering->query.requested)) {
+          if (covering->candidate) superseded.push_back({&c, *covering->candidate, covering});
+          covering->candidate = t;
+        }
+      } else if (!c.closed && t > c.last_region_lo) {
+        // Above the newest request's region floor: a future request's
+        // region can still reach down to (just above) that floor, so the
+        // temporal model requires keeping this version (Fig. 3(a), and the
+        // REG case where versions above a resolved match remain eligible).
+        // A closed connection (the importing program finished) can never
+        // request anything again, so nothing new is kept for it.
+        need = true;
+      } else {
+        // At or below the newest region's floor and not inside any
+        // unresolved region: request timestamps increase monotonically, so
+        // every future region lies strictly above this version.
+        need = false;
+      }
+    }
+    if (need) needed |= ConnMask{1} << c.cfg.conn_id;
+  }
+
+  // Phase 2: snapshot (the memcpy the paper measures) or skip.
+  if (needed != 0) {
+    pool_.store(t, local_block, static_cast<std::size_t>(local_box_.count()), needed, ctx);
+    trace_.emit(TraceKind::ExportCopy, ctx.now(), t);
+  } else {
+    pool_.note_skip();
+    trace_.emit(TraceKind::ExportSkip, ctx.now(), t);
+  }
+  CCF_LOG_TRACE("export", "proc " << ctx.id() << " export " << t
+                                  << (needed ? " copy" : " skip"));
+
+  // Phase 3: free superseded candidates (Fig. 8 lines 9-18) and attribute
+  // their buffering cost to the request they belonged to (Eq. 1). When
+  // acceptable regions overlap (request stride below the tolerance), a
+  // version superseded for one request can still be another outstanding
+  // request's candidate — or its eventual match — so it must be kept.
+  for (const auto& s : superseded) {
+    bool needed_elsewhere = false;
+    for (const auto& o : s.conn->outstanding) {
+      if (&o != s.request && o.region.contains(s.old_candidate)) {
+        needed_elsewhere = true;
+        break;
+      }
+    }
+    if (needed_elsewhere) continue;
+    if (auto freed = pool_.drop(s.old_candidate, s.conn->cfg.conn_id)) {
+      if (!freed->was_sent) s.request->unnecessary_seconds += freed->cost_seconds;
+      trace_.emit(TraceKind::Remove, ctx.now(), freed->t, freed->t);
+    }
+  }
+
+  // Phase 4: ship a transfer whose match we just produced.
+  for (auto& c : conns_) {
+    if (!c.pending_sends.empty() && c.pending_sends.front().match == t) {
+      const PendingSend ps = c.pending_sends.front();
+      c.pending_sends.pop_front();
+      send_data(c, ps.seq, ps.match, ctx);
+      pool_.mark_sent(ps.match, c.cfg.conn_id);
+      pool_.drop(ps.match, c.cfg.conn_id);
+    }
+  }
+
+  // Phase 5: the new export may make outstanding requests decidable.
+  for (auto& c : conns_) check_local_decisions(c, ctx);
+}
+
+void ExportRegionState::send_response(Conn& conn, std::uint32_t seq, const MatchAnswer& answer,
+                                      ProcessContext& ctx) {
+  CCF_LOG_DEBUG("export", "proc " << ctx.id() << " region " << name_ << " conn "
+                                  << conn.cfg.conn_id << " seq " << seq << " -> "
+                                  << to_string(answer.result) << " matched=" << answer.matched
+                                  << " latest=" << answer.latest_exported);
+  ResponseMsg resp;
+  resp.conn = static_cast<std::uint32_t>(conn.cfg.conn_id);
+  resp.seq = seq;
+  resp.result = answer.result;
+  resp.matched = answer.matched;
+  resp.latest_exported = answer.latest_exported;
+  ctx.send(rep_id_, kTagProcResponse, resp.encode());
+}
+
+void ExportRegionState::send_data(Conn& conn, std::uint32_t seq, Timestamp match,
+                                  ProcessContext& ctx) {
+  const auto& snapshot = pool_.snapshot(match);
+  dist::execute_sends_packed(ctx, conn.cfg.schedule, my_rank_, conn.cfg.importer_procs,
+                             data_tag(conn.cfg.conn_id, seq), local_box_, snapshot);
+  ++stats_.transfers;
+  trace_.emit(TraceKind::SendData, ctx.now(), match);
+}
+
+void ExportRegionState::resolve_front(Conn& conn, MatchResult result, Timestamp matched,
+                                      ProcessContext& ctx) {
+  CCF_CHECK(!conn.outstanding.empty(), "resolve with no outstanding request");
+  CCF_CHECK(result != MatchResult::Pending, "resolving with a PENDING result");
+  Outstanding o = conn.outstanding.front();
+
+  if (result == MatchResult::Match) {
+    // Everything below the match can never be requested again: matched
+    // timestamps increase strictly across requests.
+    auto freed = pool_.drop_below(matched, conn.cfg.conn_id);
+    for (const auto& f : freed) {
+      if (!f.was_sent && o.region.contains(f.t)) o.unnecessary_seconds += f.cost_seconds;
+    }
+    trace_removed(freed, ctx);
+    conn.low_water = std::max(conn.low_water, matched);
+    conn.history.prune_through(matched);
+
+    if (!conn.cfg.contributes) {
+      // Nothing of this process's block travels on this connection.
+    } else if (pool_.has(matched)) {
+      send_data(conn, o.seq, matched, ctx);
+      pool_.mark_sent(matched, conn.cfg.conn_id);
+      pool_.drop(matched, conn.cfg.conn_id);
+    } else {
+      CCF_LOG_DEBUG("export", "proc " << ctx.id() << " pending-send seq " << o.seq << " match "
+                                      << matched << " latest " << conn.history.latest());
+      conn.pending_sends.push_back(PendingSend{o.seq, matched});
+    }
+  } else {
+    // NO MATCH: nothing in the region exists (collectively), so only the
+    // below-region threshold moves — which on_forwarded_request already
+    // raised. Defensive max() keeps the invariant explicit.
+    conn.low_water = std::max(conn.low_water, o.region.lo);
+    conn.history.prune_below(conn.low_water);
+  }
+
+  stats_.t_i.push_back(o.unnecessary_seconds);
+
+  AnswerMsg resolved;
+  resolved.conn = static_cast<std::uint32_t>(conn.cfg.conn_id);
+  resolved.seq = o.seq;
+  resolved.requested = o.query.requested;
+  resolved.result = result;
+  resolved.matched = matched;
+  conn.resolved.emplace(o.seq, resolved);
+  while (conn.resolved.size() > 64) conn.resolved.erase(conn.resolved.begin());
+
+  conn.outstanding.pop_front();
+
+  // A later request's region floor was deferred while this request was
+  // unresolved (its candidates had to stay buffered); apply it now.
+  if (!conn.outstanding.empty()) {
+    raise_low_water(conn, conn.outstanding.front().region.lo, nullptr, ctx);
+  }
+}
+
+void ExportRegionState::check_local_decisions(Conn& conn, ProcessContext& ctx) {
+  while (!conn.outstanding.empty()) {
+    Outstanding& o = conn.outstanding.front();
+    const MatchAnswer answer = conn.history.evaluate(o.query);
+    if (!answer.decisive()) break;
+    if (!o.responded_decisive) {
+      send_response(conn, o.seq, answer, ctx);
+      o.responded_decisive = true;
+      ++stats_.local_decisions;
+      trace_.emit(TraceKind::LocalDecision, ctx.now(), o.query.requested, answer.matched,
+                  answer.result);
+    }
+    resolve_front(conn, answer.result, answer.matched, ctx);
+  }
+}
+
+void ExportRegionState::raise_low_water(Conn& conn, Timestamp threshold,
+                                        Outstanding* attribute_to, ProcessContext& ctx) {
+  if (threshold <= conn.low_water) return;
+  auto freed = pool_.drop_below(threshold, conn.cfg.conn_id);
+  if (attribute_to != nullptr) {
+    for (const auto& f : freed) {
+      if (!f.was_sent && attribute_to->region.contains(f.t)) {
+        attribute_to->unnecessary_seconds += f.cost_seconds;
+      }
+    }
+  }
+  trace_removed(freed, ctx);
+  conn.low_water = threshold;
+  conn.history.prune_below(threshold);
+}
+
+void ExportRegionState::on_forwarded_request(const RequestMsg& msg, ProcessContext& ctx) {
+  Conn& conn = conn_of(msg.conn);
+  CCF_REQUIRE(msg.requested > conn.last_request,
+              "import request timestamps must increase: " << msg.requested << " after "
+                                                          << conn.last_request);
+  conn.last_request = msg.requested;
+
+  MatchQuery query{msg.requested, conn.cfg.policy, conn.cfg.tolerance};
+  const Interval region = query.region();
+  trace_.emit(TraceKind::Request, ctx.now(), msg.requested);
+  CCF_LOG_TRACE("export", "proc " << ctx.id() << " request seq " << msg.seq << " x "
+                                  << msg.requested << " latest " << conn.history.latest()
+                                  << " outstanding " << conn.outstanding.size());
+  conn.last_region_lo = std::max(conn.last_region_lo, region.lo);
+
+  // The request's region lower bound frees everything below it (Fig. 5
+  // line 7): no current or future request can name those versions. When
+  // earlier requests are still unresolved, the raise is deferred until
+  // they resolve (their candidates must survive, see resolve_front).
+  if (conn.outstanding.empty()) raise_low_water(conn, region.lo, nullptr, ctx);
+
+  const MatchAnswer answer = conn.history.evaluate(query);
+  send_response(conn, msg.seq, answer, ctx);
+  trace_.emit(TraceKind::Reply, ctx.now(), msg.requested, answer.latest_exported, answer.result);
+
+  Outstanding o;
+  o.seq = msg.seq;
+  o.query = query;
+  o.region = region;
+  o.candidate = conn.history.best_candidate(query);
+  o.responded_decisive = answer.decisive();
+
+  if (answer.decisive()) {
+    // An immediately decidable request implies every earlier request was
+    // already decidable (requests increase), so the queue must be empty.
+    CCF_CHECK(conn.outstanding.empty(),
+              "decisive request arrived while earlier requests are unresolved");
+    ++stats_.local_decisions;
+    conn.outstanding.push_back(std::move(o));
+    resolve_front(conn, answer.result, answer.matched, ctx);
+  } else {
+    conn.outstanding.push_back(std::move(o));
+  }
+}
+
+void ExportRegionState::on_buddy_help(const AnswerMsg& msg, ProcessContext& ctx) {
+  Conn& conn = conn_of(msg.conn);
+  ++stats_.buddy_helps_received;
+  trace_.emit(TraceKind::BuddyHelp, ctx.now(), msg.requested, msg.matched, msg.result);
+
+  if (conn.outstanding.empty() || conn.outstanding.front().seq != msg.seq) {
+    // We already resolved this request locally (our decisive response and
+    // the rep's help crossed on the wire). Validate consistency.
+    auto it = conn.resolved.find(msg.seq);
+    CCF_CHECK(it != conn.resolved.end(), "buddy-help for unknown request seq " << msg.seq);
+    CCF_CHECK(it->second.result == msg.result &&
+                  (msg.result != MatchResult::Match || it->second.matched == msg.matched),
+              "buddy-help answer disagrees with local decision for seq " << msg.seq);
+    return;
+  }
+  conn.outstanding.front().responded_decisive = true;  // rep already has the answer
+  resolve_front(conn, msg.result, msg.matched, ctx);
+  // Help may unblock later queued requests too, if the new low-water mark
+  // made them decidable — it cannot (decidability depends on exports), but
+  // a finalized history can; keep the invariant uniform.
+  check_local_decisions(conn, ctx);
+}
+
+void ExportRegionState::on_conn_closed(std::uint32_t conn_id, ProcessContext& ctx) {
+  Conn& conn = conn_of(conn_id);
+  if (conn.closed) return;
+  conn.closed = true;
+  // "Closed" only promises that no *future* request arrives: the
+  // importer's rank 0 may finish while other importer ranks still await
+  // data from this (slower) process, so outstanding requests and
+  // announced-but-unproduced matches remain obligations. Everything else
+  // — snapshots kept only for hypothetical future requests — is released.
+  std::vector<BufferPool::Freed> freed;
+  for (Timestamp ts :
+       pool_.buffered_below(std::numeric_limits<Timestamp>::infinity(), conn.cfg.conn_id)) {
+    bool needed = false;
+    for (const auto& o : conn.outstanding) {
+      if (o.region.contains(ts)) {
+        needed = true;
+        break;
+      }
+    }
+    for (const auto& ps : conn.pending_sends) {
+      if (ps.match == ts) needed = true;
+    }
+    if (needed) continue;
+    if (auto f = pool_.drop(ts, conn.cfg.conn_id)) freed.push_back(*f);
+  }
+  trace_removed(freed, ctx);
+}
+
+bool ExportRegionState::all_conns_closed() const {
+  for (const auto& c : conns_) {
+    if (!c.closed) return false;
+  }
+  return true;
+}
+
+bool ExportRegionState::safe_to_stall() const {
+  if (all_conns_closed()) return false;  // nothing will ever be freed by waiting
+  for (const auto& c : conns_) {
+    if (!c.outstanding.empty() || !c.pending_sends.empty()) return false;
+  }
+  return true;
+}
+
+void ExportRegionState::finalize(ProcessContext& ctx) {
+  for (auto& conn : conns_) {
+    if (!conn.history.finalized()) conn.history.finalize();
+    while (!conn.outstanding.empty()) {
+      Outstanding& o = conn.outstanding.front();
+      const MatchAnswer answer = conn.history.evaluate(o.query);
+      CCF_CHECK(answer.decisive(), "finalized history must decide every request");
+      if (!o.responded_decisive) {
+        send_response(conn, o.seq, answer, ctx);
+        o.responded_decisive = true;
+        ++stats_.local_decisions;
+      }
+      resolve_front(conn, answer.result, answer.matched, ctx);
+    }
+    // Property 1: the matched timestamp is part of the collective export
+    // sequence, so a process may only finish after producing it.
+    CCF_CHECK(conn.pending_sends.empty(),
+              "process finished before exporting an announced match (collective "
+              "contract violation) on region "
+                  << name_);
+  }
+}
+
+}  // namespace ccf::core

@@ -1,0 +1,47 @@
+#include "core/layout.hpp"
+
+#include "util/check.hpp"
+
+namespace ccf::core {
+
+ProcId ProgramLayout::proc(int rank) const {
+  CCF_REQUIRE(rank >= 0 && rank < nprocs,
+              "rank " << rank << " outside program " << name << " (nprocs " << nprocs << ")");
+  return first + rank;
+}
+
+std::vector<ProcId> ProgramLayout::proc_ids() const {
+  std::vector<ProcId> ids;
+  ids.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r) ids.push_back(first + r);
+  return ids;
+}
+
+DeploymentLayout::DeploymentLayout(const Config& config) {
+  for (const auto& spec : config.programs()) {
+    ProgramLayout layout;
+    layout.name = spec.name;
+    layout.nprocs = spec.nprocs;
+    layout.first = next_id_;
+    layout.rep = next_id_ + spec.nprocs;
+    next_id_ += spec.nprocs + 1;
+    programs_.push_back(std::move(layout));
+  }
+}
+
+const ProgramLayout& DeploymentLayout::program(const std::string& name) const {
+  for (const auto& p : programs_) {
+    if (p.name == name) return p;
+  }
+  throw util::InvalidArgument("unknown program '" + name + "' in layout");
+}
+
+DeploymentLayout::Owner DeploymentLayout::owner_of(ProcId id) const {
+  for (const auto& p : programs_) {
+    if (id >= p.first && id < p.first + p.nprocs) return Owner{p.name, static_cast<int>(id - p.first)};
+    if (id == p.rep) return Owner{p.name, -1};
+  }
+  throw util::InvalidArgument("process id " + std::to_string(id) + " not in layout");
+}
+
+}  // namespace ccf::core

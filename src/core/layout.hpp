@@ -1,0 +1,51 @@
+// Deployment layout: assigns global ProcIds to every program's processes
+// and its representative (rep) process.
+//
+// Program i's worker processes occupy a contiguous id block followed by
+// the rep's id, in config order. Every participant derives the same layout
+// from the shared Config, so no id exchange is needed at startup.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "transport/message.hpp"
+
+namespace ccf::core {
+
+using transport::ProcId;
+
+struct ProgramLayout {
+  std::string name;
+  int nprocs = 0;
+  ProcId first = 0;  ///< id of rank 0
+  ProcId rep = 0;    ///< id of the representative process
+
+  ProcId proc(int rank) const;
+  std::vector<ProcId> proc_ids() const;
+};
+
+class DeploymentLayout {
+ public:
+  explicit DeploymentLayout(const Config& config);
+
+  const ProgramLayout& program(const std::string& name) const;
+  const std::vector<ProgramLayout>& programs() const { return programs_; }
+
+  /// Total ids consumed (workers + reps); ids are [0, total).
+  ProcId total_processes() const { return next_id_; }
+
+  /// Name of the program owning `id` and whether it is the rep.
+  struct Owner {
+    std::string program;
+    int rank = -1;  ///< -1 for the rep
+  };
+  Owner owner_of(ProcId id) const;
+
+ private:
+  std::vector<ProgramLayout> programs_;
+  ProcId next_id_ = 0;
+};
+
+}  // namespace ccf::core

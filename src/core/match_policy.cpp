@@ -1,0 +1,42 @@
+#include "core/match_policy.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ccf::core {
+
+MatchPolicy parse_match_policy(const std::string& text) {
+  if (text == "REGL") return MatchPolicy::REGL;
+  if (text == "REGU") return MatchPolicy::REGU;
+  if (text == "REG") return MatchPolicy::REG;
+  throw util::InvalidArgument("unknown match policy '" + text + "' (expected REGL/REGU/REG)");
+}
+
+std::string to_string(MatchPolicy policy) {
+  switch (policy) {
+    case MatchPolicy::REGL: return "REGL";
+    case MatchPolicy::REGU: return "REGU";
+    case MatchPolicy::REG: return "REG";
+  }
+  return "?";
+}
+
+Interval acceptable_region(MatchPolicy policy, Timestamp x, double tol) {
+  CCF_REQUIRE(tol >= 0.0, "negative match tolerance " << tol);
+  switch (policy) {
+    case MatchPolicy::REGL: return Interval{x - tol, x};
+    case MatchPolicy::REGU: return Interval{x, x + tol};
+    case MatchPolicy::REG: return Interval{x - tol, x + tol};
+  }
+  throw util::InternalError("unhandled match policy");
+}
+
+bool better_match(Timestamp a, Timestamp b, Timestamp x) {
+  const double da = std::abs(a - x);
+  const double db = std::abs(b - x);
+  if (da != db) return da < db;
+  return a > b;  // equidistant: prefer the more recent timestamp
+}
+
+}  // namespace ccf::core

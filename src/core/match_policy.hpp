@@ -1,0 +1,45 @@
+// Approximate-match policies and acceptable regions (paper §3.1).
+//
+// Given a requested timestamp x and a per-connection tolerance tol, the
+// policy defines the acceptable region:
+//   REGL -> [x - tol, x]      (lower window; the paper's experiments)
+//   REGU -> [x, x + tol]      (upper window)
+//   REG  -> [x - tol, x + tol] (symmetric window)
+// Among exported timestamps inside the region, the match is the one
+// closest to x; REG ties (equidistant below/above) prefer the later
+// timestamp (more recent data).
+#pragma once
+
+#include <string>
+
+#include "core/timestamp.hpp"
+
+namespace ccf::core {
+
+enum class MatchPolicy { REGL, REGU, REG };
+
+MatchPolicy parse_match_policy(const std::string& text);
+std::string to_string(MatchPolicy policy);
+
+/// Closed interval [lo, hi].
+struct Interval {
+  Timestamp lo = 0;
+  Timestamp hi = 0;
+
+  bool contains(Timestamp t) const { return t >= lo && t <= hi; }
+  bool below(Timestamp t) const { return t < lo; }   ///< t precedes the interval
+  bool above(Timestamp t) const { return t > hi; }   ///< t passed the interval
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// The acceptable region for request x under (policy, tol).
+Interval acceptable_region(MatchPolicy policy, Timestamp x, double tol);
+
+/// True if candidate `a` is a strictly better match than `b` for request x
+/// (closer to x; ties prefer the later timestamp).
+bool better_match(Timestamp a, Timestamp b, Timestamp x);
+
+}  // namespace ccf::core

@@ -1,0 +1,80 @@
+#include "core/matcher.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ccf::core {
+
+std::string to_string(MatchResult r) {
+  switch (r) {
+    case MatchResult::Match: return "MATCH";
+    case MatchResult::NoMatch: return "NO_MATCH";
+    case MatchResult::Pending: return "PENDING";
+  }
+  return "?";
+}
+
+void ExportHistory::record(Timestamp t) {
+  CCF_REQUIRE(!finalized_, "record() after finalize()");
+  CCF_REQUIRE(t > latest_, "export timestamps must be strictly increasing: " << t << " after "
+                                                                             << latest_);
+  latest_ = t;
+  const bool above_clip = clip_exclusive_ ? t > clip_ : t >= clip_;
+  if (above_clip) timestamps_.push_back(t);
+}
+
+void ExportHistory::finalize() { finalized_ = true; }
+
+Timestamp ExportHistory::latest() const { return latest_; }
+
+std::optional<Timestamp> ExportHistory::best_candidate(const MatchQuery& query) const {
+  const Interval region = query.region();
+  // Candidates inside [lo, hi]; history is sorted, so scan the window.
+  const auto lo_it = std::lower_bound(timestamps_.begin(), timestamps_.end(), region.lo);
+  std::optional<Timestamp> best;
+  for (auto it = lo_it; it != timestamps_.end() && *it <= region.hi; ++it) {
+    if (!best || better_match(*it, *best, query.requested)) best = *it;
+  }
+  return best;
+}
+
+MatchAnswer ExportHistory::evaluate(const MatchQuery& query) const {
+  MatchAnswer answer;
+  answer.latest_exported = latest();
+
+  // Decidable once exports reached the requested timestamp (no future
+  // export can beat the current best for any policy), or at end-of-stream.
+  const bool decidable = finalized_ || answer.latest_exported >= query.requested;
+  if (!decidable) {
+    answer.result = MatchResult::Pending;
+    return answer;
+  }
+  if (auto best = best_candidate(query)) {
+    answer.result = MatchResult::Match;
+    answer.matched = *best;
+  } else {
+    answer.result = MatchResult::NoMatch;
+  }
+  return answer;
+}
+
+void ExportHistory::prune_below(Timestamp t) {
+  const auto it = std::lower_bound(timestamps_.begin(), timestamps_.end(), t);
+  timestamps_.erase(timestamps_.begin(), it);
+  if (t > clip_ || (t == clip_ && clip_exclusive_)) {
+    clip_ = t;
+    clip_exclusive_ = false;  // future records >= t stay eligible
+  }
+}
+
+void ExportHistory::prune_through(Timestamp t) {
+  const auto it = std::upper_bound(timestamps_.begin(), timestamps_.end(), t);
+  timestamps_.erase(timestamps_.begin(), it);
+  if (t >= clip_) {
+    clip_ = t;
+    clip_exclusive_ = true;  // future records must exceed t
+  }
+}
+
+}  // namespace ccf::core

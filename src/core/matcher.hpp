@@ -1,0 +1,88 @@
+// The approximate matcher (paper §3.1, §4).
+//
+// Each export-side process keeps the history of timestamps it has exported
+// for a region. Given an import request, evaluate() yields:
+//   MATCH    — the best candidate is final (with the matched timestamp),
+//   NO_MATCH — no exported timestamp can ever fall in the region,
+//   PENDING  — a future export might still be (or beat) the best match.
+//
+// Exports arrive in strictly increasing timestamp order, so the outcome is
+// decidable exactly when the latest export has reached the requested
+// timestamp x (for every policy the best candidate can only improve while
+// exports are still below x), or when the history is finalized (the
+// program declared end-of-stream, so no future export exists).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/match_policy.hpp"
+#include "core/timestamp.hpp"
+
+namespace ccf::core {
+
+enum class MatchResult : std::uint8_t { Match = 1, NoMatch = 2, Pending = 3 };
+
+std::string to_string(MatchResult r);
+
+/// A request against one region/connection.
+struct MatchQuery {
+  Timestamp requested = 0;
+  MatchPolicy policy = MatchPolicy::REGL;
+  double tolerance = 0;
+
+  Interval region() const { return acceptable_region(policy, requested, tolerance); }
+};
+
+struct MatchAnswer {
+  MatchResult result = MatchResult::Pending;
+  Timestamp matched = kNeverExported;      ///< valid when result == Match
+  Timestamp latest_exported = kNeverExported;
+
+  bool decisive() const { return result != MatchResult::Pending; }
+};
+
+class ExportHistory {
+ public:
+  /// Records an export; timestamps must be strictly increasing. The
+  /// latest-export watermark always advances; the timestamp is kept as a
+  /// match candidate only if it lies above the prune clip (a pruned-away
+  /// timestamp can never be requested again, see prune_below()).
+  void record(Timestamp t);
+
+  /// Declares end-of-stream: every future evaluate() is decisive.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  Timestamp latest() const;
+  std::size_t count() const { return timestamps_.size(); }
+  bool empty() const { return timestamps_.empty(); }
+
+  /// Evaluates a request against the history (see file header).
+  MatchAnswer evaluate(const MatchQuery& query) const;
+
+  /// Best candidate currently inside `region` for request x, if any —
+  /// regardless of decidability (used to track the provisional candidate
+  /// the non-buddy-help baseline keeps buffered, Fig. 8).
+  std::optional<Timestamp> best_candidate(const MatchQuery& query) const;
+
+  /// Drops history entries strictly below `t` (they can never match any
+  /// future request once the request sequence has passed them). Evaluation
+  /// correctness requires callers to prune only below resolved regions.
+  void prune_below(Timestamp t);
+
+  /// Drops entries <= t (used after a match at t is consumed: matched
+  /// timestamps increase strictly, so t itself is also done).
+  void prune_through(Timestamp t);
+
+  const std::vector<Timestamp>& timestamps() const { return timestamps_; }
+
+ private:
+  std::vector<Timestamp> timestamps_;  ///< candidate list, strictly increasing
+  Timestamp latest_ = kNeverExported;  ///< true latest export (never pruned)
+  Timestamp clip_ = kNeverExported;    ///< candidates must be above the clip
+  bool clip_exclusive_ = false;        ///< true: > clip_; false: >= clip_
+  bool finalized_ = false;
+};
+
+}  // namespace ccf::core

@@ -1,0 +1,31 @@
+// Framework-level behaviour switches.
+#pragma once
+
+#include <cstddef>
+
+namespace ccf::core {
+
+struct FrameworkOptions {
+  /// The paper's optimization (§4.1). When the rep answers a request from
+  /// a mixture of PENDING and decisive responses, it forwards the final
+  /// answer to the still-PENDING processes so they can skip buffering
+  /// data that can never be the match. Disable to get the baseline the
+  /// paper compares against (Figure 8).
+  bool buddy_help = true;
+
+  /// Record per-process event traces (Figures 5/7/8 listings).
+  bool trace = false;
+
+  /// Cap on recorded trace events per process.
+  std::size_t trace_max_events = 1 << 20;
+
+  /// Finite buffer space (paper §6 future work): per-process, per-region
+  /// cap on buffered snapshot bytes. 0 = unlimited. When an export would
+  /// exceed the cap, the exporting process *stalls*, serving framework
+  /// control traffic (requests advance the low-water mark and free
+  /// snapshots; importer departures release whole connections) until the
+  /// new snapshot fits. Stall counts/time are recorded in the stats.
+  std::size_t max_buffered_bytes = 0;
+};
+
+}  // namespace ccf::core

@@ -1,0 +1,104 @@
+#include "core/protocol.hpp"
+
+#include "util/check.hpp"
+
+namespace ccf::core {
+
+using transport::Reader;
+using transport::Writer;
+
+Payload RequestMsg::encode() const {
+  Writer w;
+  w.put(conn);
+  w.put(seq);
+  w.put(requested);
+  return w.take();
+}
+
+RequestMsg RequestMsg::decode(const Payload& p) {
+  Reader r(p);
+  RequestMsg m;
+  m.conn = r.get<std::uint32_t>();
+  m.seq = r.get<std::uint32_t>();
+  m.requested = r.get<Timestamp>();
+  CCF_CHECK(r.exhausted(), "trailing bytes in RequestMsg");
+  return m;
+}
+
+Payload ResponseMsg::encode() const {
+  Writer w;
+  w.put(conn);
+  w.put(seq);
+  w.put(static_cast<std::uint8_t>(result));
+  w.put(matched);
+  w.put(latest_exported);
+  return w.take();
+}
+
+ResponseMsg ResponseMsg::decode(const Payload& p) {
+  Reader r(p);
+  ResponseMsg m;
+  m.conn = r.get<std::uint32_t>();
+  m.seq = r.get<std::uint32_t>();
+  m.result = static_cast<MatchResult>(r.get<std::uint8_t>());
+  m.matched = r.get<Timestamp>();
+  m.latest_exported = r.get<Timestamp>();
+  CCF_CHECK(r.exhausted(), "trailing bytes in ResponseMsg");
+  return m;
+}
+
+Payload AnswerMsg::encode() const {
+  Writer w;
+  w.put(conn);
+  w.put(seq);
+  w.put(requested);
+  w.put(static_cast<std::uint8_t>(result));
+  w.put(matched);
+  return w.take();
+}
+
+AnswerMsg AnswerMsg::decode(const Payload& p) {
+  Reader r(p);
+  AnswerMsg m;
+  m.conn = r.get<std::uint32_t>();
+  m.seq = r.get<std::uint32_t>();
+  m.requested = r.get<Timestamp>();
+  m.result = static_cast<MatchResult>(r.get<std::uint8_t>());
+  m.matched = r.get<Timestamp>();
+  CCF_CHECK(r.exhausted(), "trailing bytes in AnswerMsg");
+  return m;
+}
+
+Payload ConnMsg::encode() const {
+  Writer w;
+  w.put(conn);
+  return w.take();
+}
+
+ConnMsg ConnMsg::decode(const Payload& p) {
+  Reader r(p);
+  ConnMsg m;
+  m.conn = r.get<std::uint32_t>();
+  CCF_CHECK(r.exhausted(), "trailing bytes in ConnMsg");
+  return m;
+}
+
+void RegionMeta::encode_into(Writer& w) const {
+  w.put_string(name);
+  w.put(rows);
+  w.put(cols);
+  w.put(proc_rows);
+  w.put(proc_cols);
+}
+
+RegionMeta RegionMeta::decode_from(Reader& r) {
+  RegionMeta m;
+  m.name = r.get_string();
+  m.rows = r.get<std::int64_t>();
+  m.cols = r.get<std::int64_t>();
+  m.proc_rows = r.get<std::int32_t>();
+  m.proc_cols = r.get<std::int32_t>();
+  return m;
+}
+
+}  // namespace ccf::core

@@ -1,0 +1,223 @@
+#include "core/rep.hpp"
+
+#include <map>
+#include <set>
+
+#include "core/protocol.hpp"
+#include "core/rep_state.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace ccf::core {
+
+using runtime::MatchSpec;
+using runtime::Message;
+using transport::kAnyProc;
+using transport::kAnyTag;
+using transport::Reader;
+using transport::Writer;
+
+RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
+                  const DeploymentLayout& layout, const std::string& program_name,
+                  FrameworkOptions options) {
+  const ProgramLayout& pl = layout.program(program_name);
+  CCF_REQUIRE(ctx.id() == pl.rep, "rep body running on wrong process id");
+
+  const std::vector<int> export_conns = config.connections_of_exporter_program(program_name);
+  const std::vector<int> import_conns = config.connections_of_importer_program(program_name);
+
+  auto peer_rep_of = [&](int conn) -> ProcId {
+    const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+    const std::string& peer =
+        spec.exporter_program == program_name ? spec.importer_program : spec.exporter_program;
+    return layout.program(peer).rep;
+  };
+
+  RepResult result;
+  std::map<int, RequestAggregator> aggregators;
+  for (int conn : export_conns) {
+    aggregators.emplace(conn, RequestAggregator(pl.nprocs, options.buddy_help));
+  }
+
+  // --- startup: region geometry exchange -----------------------------------
+  bool defs_received = false;
+  bool meta_broadcast = false;
+  std::map<std::string, RegionMeta> own_exports;
+  std::map<std::string, RegionMeta> own_imports;
+  std::map<int, RegionMeta> peer_meta;
+  const std::size_t participated = export_conns.size() + import_conns.size();
+
+  // --- shutdown bookkeeping -------------------------------------------------
+  std::set<int> import_conns_done;   ///< own rank0 said "done importing"
+  std::set<int> export_conns_finished;  ///< peer rep said "done requesting"
+
+  auto maybe_broadcast_meta = [&] {
+    if (meta_broadcast || !defs_received || peer_meta.size() != participated) return;
+    Writer w;
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(peer_meta.size()));
+    for (const auto& [conn, meta] : peer_meta) {
+      // Validate geometry agreement for conns this program imports on:
+      // the imported region must match the exporter's transfer window
+      // (or, without a window, the exporter's whole domain).
+      const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+      if (spec.importer_program == program_name) {
+        const RegionMeta& mine = own_imports.at(spec.importer_region);
+        const dist::Box window =
+            spec.exporter_window.value_or(dist::Box{0, meta.rows, 0, meta.cols});
+        CCF_REQUIRE((dist::Box{0, meta.rows, 0, meta.cols}.contains(window)),
+                    "connection " << conn << ": transfer window " << window
+                                  << " escapes the exporter's " << meta.rows << "x"
+                                  << meta.cols << " domain");
+        CCF_REQUIRE(mine.rows == window.rows() && mine.cols == window.cols(),
+                    "connection " << conn << ": imported region " << spec.importer_region
+                                  << " is " << mine.rows << "x" << mine.cols
+                                  << " but the exporter window provides " << window.rows()
+                                  << "x" << window.cols());
+      }
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
+      meta.encode_into(w);
+    }
+    const transport::Payload payload = w.take();
+    for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagRegionMetaBcast, payload);
+    meta_broadcast = true;
+  };
+
+  auto all_finished = [&] {
+    return meta_broadcast && import_conns_done.size() == import_conns.size() &&
+           export_conns_finished.size() == export_conns.size();
+  };
+
+  // A program with no connections still performs the geometry phase, then
+  // shuts its processes down immediately.
+  while (!all_finished()) {
+    Message m = ctx.recv(MatchSpec{kAnyProc, kAnyTag});
+    switch (m.tag) {
+      case kTagRegionDefs: {
+        CCF_CHECK(!defs_received, "duplicate region definitions");
+        defs_received = true;
+        Reader r(m.payload);
+        const auto n_exp = r.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < n_exp; ++i) {
+          RegionMeta meta = RegionMeta::decode_from(r);
+          own_exports.emplace(meta.name, std::move(meta));
+        }
+        const auto n_imp = r.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < n_imp; ++i) {
+          RegionMeta meta = RegionMeta::decode_from(r);
+          own_imports.emplace(meta.name, std::move(meta));
+        }
+        // Early detection of incorrect coupling specifications (paper
+        // §3.1): every connected region must have been defined.
+        for (int conn : export_conns) {
+          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+          CCF_REQUIRE(own_exports.count(spec.exporter_region),
+                      "program " << program_name << " never defined exported region '"
+                                 << spec.exporter_region << "' required by connection "
+                                 << conn);
+        }
+        for (int conn : import_conns) {
+          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+          CCF_REQUIRE(own_imports.count(spec.importer_region),
+                      "program " << program_name << " never defined imported region '"
+                                 << spec.importer_region << "' required by connection "
+                                 << conn);
+        }
+        // Ship our geometry to every peer rep.
+        for (int conn : export_conns) {
+          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+          Writer w;
+          w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
+          own_exports.at(spec.exporter_region).encode_into(w);
+          ctx.send(peer_rep_of(conn), kTagPeerRegionMeta, w.take());
+        }
+        for (int conn : import_conns) {
+          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+          Writer w;
+          w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
+          own_imports.at(spec.importer_region).encode_into(w);
+          ctx.send(peer_rep_of(conn), kTagPeerRegionMeta, w.take());
+        }
+        maybe_broadcast_meta();
+        break;
+      }
+      case kTagPeerRegionMeta: {
+        Reader r(m.payload);
+        const auto conn = r.get<std::uint32_t>();
+        peer_meta.emplace(static_cast<int>(conn), RegionMeta::decode_from(r));
+        maybe_broadcast_meta();
+        break;
+      }
+      case kTagImportRequest: {
+        const RequestMsg req = RequestMsg::decode(m.payload);
+        ctx.send(peer_rep_of(static_cast<int>(req.conn)), kTagRequestForward, req.encode());
+        break;
+      }
+      case kTagRequestForward: {
+        const RequestMsg req = RequestMsg::decode(m.payload);
+        auto agg = aggregators.find(static_cast<int>(req.conn));
+        CCF_CHECK(agg != aggregators.end(),
+                  "request forwarded to non-exporter of connection " << req.conn);
+        agg->second.open(req);
+        const transport::Payload payload = req.encode();
+        for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagProcForward, payload);
+        ++result.requests_forwarded;
+        break;
+      }
+      case kTagProcResponse: {
+        const ResponseMsg resp = ResponseMsg::decode(m.payload);
+        const int rank = static_cast<int>(m.src - pl.first);
+        auto agg = aggregators.find(static_cast<int>(resp.conn));
+        CCF_CHECK(agg != aggregators.end(), "response for unknown connection " << resp.conn);
+        ++result.responses_received;
+        const RequestAggregator::Actions actions = agg->second.on_response(rank, resp);
+        if (actions.answer_importer) {
+          ctx.send(peer_rep_of(static_cast<int>(resp.conn)), kTagRepAnswer,
+                   actions.answer_importer->encode());
+          ++result.answers_sent;
+        }
+        if (!actions.buddy_help_ranks.empty()) {
+          const AnswerMsg& answer = agg->second.answer_of(resp.seq);
+          const transport::Payload payload = answer.encode();
+          for (int r : actions.buddy_help_ranks) {
+            ctx.send(pl.proc(r), kTagBuddyHelp, payload);
+            ++result.buddy_helps_sent;
+          }
+        }
+        break;
+      }
+      case kTagRepAnswer: {
+        const AnswerMsg answer = AnswerMsg::decode(m.payload);
+        const transport::Payload payload = answer.encode();
+        for (ProcId proc : pl.proc_ids()) {
+          ctx.send(proc, import_answer_tag(static_cast<int>(answer.conn)), payload);
+        }
+        break;
+      }
+      case kTagImporterConnDone: {
+        const ConnMsg msg = ConnMsg::decode(m.payload);
+        import_conns_done.insert(static_cast<int>(msg.conn));
+        ctx.send(peer_rep_of(static_cast<int>(msg.conn)), kTagConnFinished, msg.encode());
+        break;
+      }
+      case kTagConnFinished: {
+        const ConnMsg msg = ConnMsg::decode(m.payload);
+        export_conns_finished.insert(static_cast<int>(msg.conn));
+        // Tell the worker processes the importer left: they release every
+        // snapshot held for this connection and stop buffering for it.
+        const transport::Payload payload = msg.encode();
+        for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagConnClosed, payload);
+        break;
+      }
+      default:
+        throw util::InternalError("rep of " + program_name + " got unexpected tag " +
+                                  std::to_string(m.tag));
+    }
+  }
+
+  for (ProcId proc : pl.proc_ids()) {
+    ctx.send(proc, kTagShutdownProc, transport::empty_payload());
+  }
+  return result;
+}
+
+}  // namespace ccf::core

@@ -1,0 +1,35 @@
+// The representative (rep) process body (paper §4).
+//
+// Each program runs one extra low-overhead control process. For regions
+// the program exports, the rep forwards import requests to all worker
+// processes, aggregates their MATCH/NO-MATCH/PENDING responses under the
+// collective-operation legality rules, answers the importing program, and
+// issues buddy-help to still-PENDING workers. For regions the program
+// imports, it relays requests outward and broadcasts answers inward. It
+// also drives startup region-geometry exchange and coordinated shutdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/layout.hpp"
+#include "core/options.hpp"
+#include "runtime/process_context.hpp"
+
+namespace ccf::core {
+
+struct RepResult {
+  std::uint64_t requests_forwarded = 0;
+  std::uint64_t answers_sent = 0;
+  std::uint64_t buddy_helps_sent = 0;
+  std::uint64_t responses_received = 0;
+};
+
+/// Runs the rep to completion. Intended as the process body for the
+/// program's rep slot in the deployment layout.
+RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
+                  const DeploymentLayout& layout, const std::string& program_name,
+                  FrameworkOptions options = {});
+
+}  // namespace ccf::core

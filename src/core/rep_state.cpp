@@ -1,0 +1,101 @@
+#include "core/rep_state.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ccf::core {
+
+RequestAggregator::RequestAggregator(int nprocs, bool buddy_help)
+    : nprocs_(nprocs), buddy_help_(buddy_help) {
+  CCF_REQUIRE(nprocs > 0, "aggregator needs at least one process");
+}
+
+void RequestAggregator::open(const RequestMsg& request) {
+  CCF_REQUIRE(!requests_.count(request.seq),
+              "request seq " << request.seq << " already open");
+  RequestState state;
+  state.requested = request.requested;
+  state.conn = request.conn;
+  requests_.emplace(request.seq, std::move(state));
+}
+
+RequestAggregator::Actions RequestAggregator::on_response(int rank, const ResponseMsg& response) {
+  CCF_REQUIRE(rank >= 0 && rank < nprocs_, "response from rank " << rank << " outside program");
+  auto it = requests_.find(response.seq);
+  CCF_CHECK(it != requests_.end(),
+            "response for unknown request seq " << response.seq << " on conn " << response.conn);
+  RequestState& state = it->second;
+
+  Actions actions;
+  if (response.result == MatchResult::Pending) {
+    state.pending_ranks.insert(rank);
+    // A PENDING after the request was answered: this is exactly the
+    // straggler buddy-help exists for — help it right away.
+    if (buddy_help_ && state.answer && !state.decisive_ranks.count(rank) &&
+        !state.helped_ranks.count(rank)) {
+      state.helped_ranks.insert(rank);
+      ++buddy_helps_issued_;
+      actions.buddy_help_ranks.push_back(rank);
+    }
+    return actions;
+  }
+
+  // Decisive response: validate the collective contract.
+  if (state.answer) {
+    const AnswerMsg& a = *state.answer;
+    if (a.result != response.result ||
+        (a.result == MatchResult::Match && a.matched != response.matched)) {
+      std::ostringstream os;
+      os << "Property 1 violated on conn " << response.conn << " seq " << response.seq
+         << ": rank " << rank << " answered " << to_string(response.result);
+      if (response.result == MatchResult::Match) os << " @" << response.matched;
+      os << " but the collective answer is " << to_string(a.result);
+      if (a.result == MatchResult::Match) os << " @" << a.matched;
+      throw util::ProtocolViolation(os.str());
+    }
+    state.pending_ranks.erase(rank);
+    state.decisive_ranks.insert(rank);
+    return actions;
+  }
+
+  // First decisive response determines the collective answer.
+  AnswerMsg answer;
+  answer.conn = response.conn;
+  answer.seq = response.seq;
+  answer.requested = state.requested;
+  answer.result = response.result;
+  answer.matched = response.matched;
+  state.answer = answer;
+  state.pending_ranks.erase(rank);
+  state.decisive_ranks.insert(rank);
+  actions.answer_importer = answer;
+
+  if (buddy_help_) {
+    // Help everyone who answered PENDING so far; ranks that have not
+    // responded yet get helped when their PENDING arrives (see above).
+    for (int r : state.pending_ranks) {
+      if (!state.helped_ranks.count(r)) {
+        state.helped_ranks.insert(r);
+        ++buddy_helps_issued_;
+        actions.buddy_help_ranks.push_back(r);
+      }
+    }
+  }
+  return actions;
+}
+
+bool RequestAggregator::is_open(std::uint32_t seq) const { return requests_.count(seq) > 0; }
+
+bool RequestAggregator::is_answered(std::uint32_t seq) const {
+  auto it = requests_.find(seq);
+  return it != requests_.end() && it->second.answer.has_value();
+}
+
+const AnswerMsg& RequestAggregator::answer_of(std::uint32_t seq) const {
+  auto it = requests_.find(seq);
+  CCF_CHECK(it != requests_.end() && it->second.answer, "no answer for seq " << seq);
+  return *it->second.answer;
+}
+
+}  // namespace ccf::core

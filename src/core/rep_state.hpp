@@ -1,0 +1,68 @@
+// Pure request-aggregation logic of the representative process (paper §4).
+//
+// For each forwarded import request the rep collects one response per
+// exporter process. The legal aggregates are: all MATCH, all NO-MATCH, all
+// PENDING, PENDING+MATCH, PENDING+NO-MATCH — and all decisive answers must
+// agree (same result, same matched timestamp). Anything else violates the
+// collective-operation contract (Property 1) and raises ProtocolViolation.
+//
+// The final answer is the first decisive response. When buddy-help is
+// enabled, the answer is also forwarded to every process that has not
+// itself produced a decisive response — immediately for processes that
+// already answered PENDING, and reactively when a late PENDING arrives
+// after the answer was determined.
+//
+// This class is pure state (no I/O) so the aggregation and legality rules
+// are unit-testable in isolation; rep.cpp wires it to messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ccf::core {
+
+class RequestAggregator {
+ public:
+  RequestAggregator(int nprocs, bool buddy_help);
+
+  /// Side effects the caller (the rep) must perform after an event.
+  struct Actions {
+    std::optional<AnswerMsg> answer_importer;  ///< send to the importer rep
+    std::vector<int> buddy_help_ranks;         ///< forward the answer to these ranks
+  };
+
+  /// A new request was forwarded to the processes.
+  void open(const RequestMsg& request);
+
+  /// Response from exporter process `rank`. Throws ProtocolViolation on an
+  /// illegal aggregate.
+  Actions on_response(int rank, const ResponseMsg& response);
+
+  bool is_open(std::uint32_t seq) const;
+  bool is_answered(std::uint32_t seq) const;
+  const AnswerMsg& answer_of(std::uint32_t seq) const;
+
+  std::uint64_t buddy_helps_issued() const { return buddy_helps_issued_; }
+
+ private:
+  struct RequestState {
+    Timestamp requested = 0;
+    std::uint32_t conn = 0;
+    std::set<int> pending_ranks;   ///< answered PENDING, no decisive yet
+    std::set<int> decisive_ranks;  ///< produced a decisive answer
+    std::set<int> helped_ranks;    ///< buddy-help sent
+    std::optional<AnswerMsg> answer;
+  };
+
+  int nprocs_;
+  bool buddy_help_;
+  std::map<std::uint32_t, RequestState> requests_;
+  std::uint64_t buddy_helps_issued_ = 0;
+};
+
+}  // namespace ccf::core

@@ -1,0 +1,79 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace ccf::core {
+
+void print_run_report(const CoupledSystem& system, std::ostream& os) {
+  for (const auto& prog : system.config().programs()) {
+    os << "program " << prog.name << " (" << prog.nprocs << " processes";
+    const RepResult& rep = system.rep_result(prog.name);
+    if (rep.requests_forwarded > 0 || rep.buddy_helps_sent > 0) {
+      os << "; rep: " << rep.requests_forwarded << " requests, " << rep.answers_sent
+         << " answers, " << rep.buddy_helps_sent << " buddy-helps";
+    }
+    os << ")\n";
+
+    bool any_exports = false, any_imports = false;
+    for (int r = 0; r < prog.nprocs; ++r) {
+      const ProcStats& stats = system.proc_stats(prog.name, r);
+      any_exports |= !stats.exports.empty();
+      any_imports |= !stats.imports.empty();
+    }
+
+    if (any_exports) {
+      util::TableWriter table({"rank", "region", "exports", "memcpys", "skips", "transfers",
+                               "helps", "stalls", "T_ub ms"});
+      for (int r = 0; r < prog.nprocs; ++r) {
+        for (const auto& e : system.proc_stats(prog.name, r).exports) {
+          table.add_row({std::to_string(r), e.region, std::to_string(e.exports),
+                         std::to_string(e.buffer.stores), std::to_string(e.buffer.skips),
+                         std::to_string(e.transfers), std::to_string(e.buddy_helps_received),
+                         std::to_string(e.stalls), util::TableWriter::fmt(e.t_ub() * 1e3, 3)});
+        }
+      }
+      if (table.rows() > 0) table.print(os);
+    }
+    if (any_imports) {
+      util::TableWriter table({"rank", "region", "imports", "matches", "no-match"});
+      for (int r = 0; r < prog.nprocs; ++r) {
+        for (const auto& i : system.proc_stats(prog.name, r).imports) {
+          table.add_row({std::to_string(r), i.region, std::to_string(i.imports),
+                         std::to_string(i.matches), std::to_string(i.no_matches)});
+        }
+      }
+      if (table.rows() > 0) table.print(os);
+    }
+    os << "\n";
+  }
+  os << "end time: " << system.end_time() << " s\n";
+}
+
+void write_run_report_csv(const CoupledSystem& system, const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.write_row({"program", "rank", "kind", "region", "exports", "memcpys", "skips",
+                 "transfers", "helps", "stalls", "t_ub_seconds", "imports", "matches",
+                 "no_matches"});
+  for (const auto& prog : system.config().programs()) {
+    for (int r = 0; r < prog.nprocs; ++r) {
+      const ProcStats& stats = system.proc_stats(prog.name, r);
+      for (const auto& e : stats.exports) {
+        csv.write_row({prog.name, std::to_string(r), "export", e.region,
+                       std::to_string(e.exports), std::to_string(e.buffer.stores),
+                       std::to_string(e.buffer.skips), std::to_string(e.transfers),
+                       std::to_string(e.buddy_helps_received), std::to_string(e.stalls),
+                       util::TableWriter::fmt(e.t_ub(), 9), "0", "0", "0"});
+      }
+      for (const auto& i : stats.imports) {
+        csv.write_row({prog.name, std::to_string(r), "import", i.region, "0", "0", "0", "0",
+                       "0", "0", "0", std::to_string(i.imports), std::to_string(i.matches),
+                       std::to_string(i.no_matches)});
+      }
+    }
+  }
+  csv.flush();
+}
+
+}  // namespace ccf::core

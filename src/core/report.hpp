@@ -1,0 +1,23 @@
+// Run-report formatting: renders a completed CoupledSystem's per-process
+// statistics (exports, buffering behaviour, buddy-help activity, imports)
+// as aligned tables, and optionally as CSV for downstream analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/system.hpp"
+
+namespace ccf::core {
+
+/// Prints one table per program: export rows (region, exports, memcpys,
+/// skips, transfers, helps, stalls, T_ub) and import rows (region,
+/// imports, matches, no-matches).
+void print_run_report(const CoupledSystem& system, std::ostream& os);
+
+/// Writes the same data as CSV rows:
+///   program,rank,kind,region,exports,memcpys,skips,transfers,helps,
+///   stalls,t_ub_seconds,imports,matches,no_matches
+void write_run_report_csv(const CoupledSystem& system, const std::string& path);
+
+}  // namespace ccf::core

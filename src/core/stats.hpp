@@ -1,0 +1,65 @@
+// Per-process statistics collected by the coupling runtime.
+//
+// The Figure-4 reproduction needs the per-iteration export durations of
+// the slowest exporter process; Eq.(1)/(2) need the per-request
+// unnecessary-buffering times T_i and their total T_ub. Stats objects are
+// owned by the harness (one slot per process) and filled in by the
+// process bodies, which run in the same address space in both execution
+// modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/buffer_pool.hpp"
+#include "core/timestamp.hpp"
+
+namespace ccf::core {
+
+struct ExportRegionStats {
+  std::string region;
+  std::uint64_t exports = 0;
+  std::uint64_t transfers = 0;  ///< matched snapshots actually shipped
+  BufferStats buffer;
+
+  /// Duration of each export call (paper Fig. 4 y-axis), in ctx.now() secs.
+  std::vector<double> export_seconds;
+
+  /// Timestamp of each export, aligned with export_seconds.
+  std::vector<Timestamp> export_timestamps;
+
+  /// Per-request unnecessary buffering time T_i (Eq. 1), in request order.
+  std::vector<double> t_i;
+
+  /// Total unnecessary buffering time T_ub (Eq. 2).
+  double t_ub() const {
+    double s = 0;
+    for (double v : t_i) s += v;
+    return s;
+  }
+
+  std::uint64_t buddy_helps_received = 0;
+  std::uint64_t local_decisions = 0;  ///< requests this process decided itself
+
+  /// Finite-buffer backpressure (FrameworkOptions::max_buffered_bytes).
+  std::uint64_t stalls = 0;
+  double stall_seconds = 0;
+};
+
+struct ImportRegionStats {
+  std::string region;
+  std::uint64_t imports = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t no_matches = 0;
+  std::vector<double> import_seconds;
+  std::vector<Timestamp> matched_timestamps;
+};
+
+struct ProcStats {
+  std::vector<ExportRegionStats> exports;
+  std::vector<ImportRegionStats> imports;
+  double finished_at = 0;  ///< ctx.now() when the process body completed
+};
+
+}  // namespace ccf::core

@@ -1,0 +1,86 @@
+#include "core/system.hpp"
+
+#include "util/check.hpp"
+
+namespace ccf::core {
+
+CoupledSystem::CoupledSystem(Config config, runtime::ClusterOptions cluster_options,
+                             FrameworkOptions framework_options)
+    : config_(std::move(config)),
+      cluster_options_(cluster_options),
+      framework_options_(framework_options),
+      layout_(config_) {
+  config_.validate();
+  for (const auto& prog : config_.programs()) {
+    slots_[prog.name].resize(static_cast<std::size_t>(prog.nprocs));
+    rep_results_[prog.name] = RepResult{};
+  }
+}
+
+void CoupledSystem::set_program_body(const std::string& program, ProgramBody body) {
+  CCF_REQUIRE(config_.has_program(program), "no program '" << program << "' in config");
+  CCF_REQUIRE(body != nullptr, "program body must be callable");
+  bodies_[program] = std::move(body);
+}
+
+void CoupledSystem::run() {
+  CCF_REQUIRE(!ran_, "run() called twice");
+  for (const auto& prog : config_.programs()) {
+    CCF_REQUIRE(bodies_.count(prog.name), "program '" << prog.name << "' has no body");
+  }
+  ran_ = true;
+
+  auto cluster = runtime::make_cluster(cluster_options_);
+  for (const auto& prog : config_.programs()) {
+    const ProgramLayout& pl = layout_.program(prog.name);
+    for (int rank = 0; rank < pl.nprocs; ++rank) {
+      const std::string name = prog.name;
+      ProcSlot* slot = &slots_[name][static_cast<std::size_t>(rank)];
+      ProgramBody* body = &bodies_[name];
+      cluster->add_process(pl.proc(rank), [this, name, rank, slot,
+                                           body](runtime::ProcessContext& ctx) {
+        CouplingRuntime rt(ctx, config_, layout_, name, rank, framework_options_);
+        (*body)(rt, ctx);
+        slot->stats = rt.stats_snapshot();
+        for (const auto& stats : slot->stats.exports) {
+          slot->traces[stats.region] = rt.trace_listing(stats.region);
+        }
+      });
+    }
+    RepResult* rep_slot = &rep_results_[prog.name];
+    const std::string name = prog.name;
+    cluster->add_process(pl.rep, [this, name, rep_slot](runtime::ProcessContext& ctx) {
+      *rep_slot = run_rep(ctx, config_, layout_, name, framework_options_);
+    });
+  }
+  cluster->run();
+  end_time_ = cluster->end_time();
+}
+
+const ProcStats& CoupledSystem::proc_stats(const std::string& program, int rank) const {
+  auto it = slots_.find(program);
+  CCF_REQUIRE(it != slots_.end(), "unknown program '" << program << "'");
+  CCF_REQUIRE(rank >= 0 && static_cast<std::size_t>(rank) < it->second.size(),
+              "rank " << rank << " outside program " << program);
+  return it->second[static_cast<std::size_t>(rank)].stats;
+}
+
+const std::string& CoupledSystem::trace_listing(const std::string& program, int rank,
+                                                const std::string& region) const {
+  static const std::string kEmpty;
+  auto it = slots_.find(program);
+  CCF_REQUIRE(it != slots_.end(), "unknown program '" << program << "'");
+  CCF_REQUIRE(rank >= 0 && static_cast<std::size_t>(rank) < it->second.size(),
+              "rank " << rank << " outside program " << program);
+  const auto& traces = it->second[static_cast<std::size_t>(rank)].traces;
+  auto t = traces.find(region);
+  return t == traces.end() ? kEmpty : t->second;
+}
+
+const RepResult& CoupledSystem::rep_result(const std::string& program) const {
+  auto it = rep_results_.find(program);
+  CCF_REQUIRE(it != rep_results_.end(), "unknown program '" << program << "'");
+  return it->second;
+}
+
+}  // namespace ccf::core

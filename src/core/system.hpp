@@ -1,0 +1,69 @@
+// CoupledSystem: assembles and runs an entire coupled simulation in one
+// simulated cluster (real threads or deterministic virtual time).
+//
+// Given a Config, it derives the deployment layout, installs the rep
+// process for every program, wraps each worker process body with a
+// ready-made CouplingRuntime, runs the cluster to completion, and captures
+// per-process statistics and trace listings for the harness.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/coupling_runtime.hpp"
+#include "core/rep.hpp"
+#include "runtime/cluster.hpp"
+
+namespace ccf::core {
+
+class CoupledSystem {
+ public:
+  /// Worker process body: receives its CouplingRuntime (already bound to
+  /// the right program and rank) and the raw ProcessContext.
+  using ProgramBody = std::function<void(CouplingRuntime&, runtime::ProcessContext&)>;
+
+  CoupledSystem(Config config, runtime::ClusterOptions cluster_options,
+                FrameworkOptions framework_options);
+
+  /// Installs the SPMD body run by every worker process of `program`.
+  void set_program_body(const std::string& program, ProgramBody body);
+
+  /// Runs all programs and reps to completion; propagates failures.
+  void run();
+
+  const Config& config() const { return config_; }
+  const DeploymentLayout& layout() const { return layout_; }
+  const FrameworkOptions& framework_options() const { return framework_options_; }
+
+  /// End-of-run virtual (or wall) time.
+  double end_time() const { return end_time_; }
+
+  /// Statistics of one worker process (valid after run()).
+  const ProcStats& proc_stats(const std::string& program, int rank) const;
+
+  /// Trace listing of an exported region on one process ("" if untraced).
+  const std::string& trace_listing(const std::string& program, int rank,
+                                   const std::string& region) const;
+
+  const RepResult& rep_result(const std::string& program) const;
+
+ private:
+  struct ProcSlot {
+    ProcStats stats;
+    std::map<std::string, std::string> traces;  ///< region -> listing
+  };
+
+  Config config_;
+  runtime::ClusterOptions cluster_options_;
+  FrameworkOptions framework_options_;
+  DeploymentLayout layout_;
+  std::map<std::string, ProgramBody> bodies_;
+  std::map<std::string, std::vector<ProcSlot>> slots_;
+  std::map<std::string, RepResult> rep_results_;
+  double end_time_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ccf::core

@@ -1,0 +1,16 @@
+// Simulation timestamps.
+//
+// Every exported/imported data object carries an increasing simulation
+// timestamp; import requests name a timestamp and the framework performs
+// approximate matching against the exported sequence (paper §3.1).
+#pragma once
+
+#include <limits>
+
+namespace ccf::core {
+
+using Timestamp = double;
+
+inline constexpr Timestamp kNeverExported = -std::numeric_limits<Timestamp>::infinity();
+
+}  // namespace ccf::core

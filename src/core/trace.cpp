@@ -1,0 +1,65 @@
+#include "core/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ccf::core {
+
+namespace {
+std::string ts(Timestamp t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", t);
+  return buf;
+}
+}  // namespace
+
+std::string Trace::line(const TraceEvent& e) const {
+  std::ostringstream os;
+  switch (e.kind) {
+    case TraceKind::ExportCopy:
+      os << "export " << name_ << "@" << ts(e.a) << ", call memcpy.";
+      break;
+    case TraceKind::ExportSkip:
+      os << "export " << name_ << "@" << ts(e.a) << ", skip memcpy.";
+      break;
+    case TraceKind::Request:
+      os << "receive request for " << name_ << "@" << ts(e.a) << ".";
+      break;
+    case TraceKind::Reply:
+      os << "reply {" << name_ << "@" << ts(e.a) << ", " << to_string(e.result) << ", "
+         << name_ << "@" << ts(e.b) << "}.";
+      break;
+    case TraceKind::BuddyHelp:
+      os << "receive buddy-help {" << name_ << "@" << ts(e.a) << ", "
+         << (e.result == MatchResult::Match ? "YES" : "NO") << ", " << name_ << "@"
+         << ts(e.b) << "}.";
+      break;
+    case TraceKind::Remove:
+      if (e.a == e.b) {
+        os << "remove " << name_ << "@" << ts(e.a) << ".";
+      } else {
+        os << "remove " << name_ << "@" << ts(e.a) << ", ..., " << name_ << "@" << ts(e.b)
+           << ".";
+      }
+      break;
+    case TraceKind::SendData:
+      os << "send " << name_ << "@" << ts(e.a) << " out.";
+      break;
+    case TraceKind::LocalDecision:
+      os << "decide {" << name_ << "@" << ts(e.a) << ", " << to_string(e.result) << ", "
+         << name_ << "@" << ts(e.b) << "}.";
+      break;
+  }
+  return os.str();
+}
+
+std::string Trace::listing() const {
+  std::ostringstream os;
+  std::size_t n = 1;
+  for (const auto& e : events_) {
+    os << n++ << "  " << line(e) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ccf::core

@@ -1,0 +1,88 @@
+// Distributed 2-D array: each process stores the block assigned to it by a
+// BlockDecomposition. Supports global-index access to the local block and
+// packing/unpacking of arbitrary sub-boxes for redistribution.
+#pragma once
+
+#include <vector>
+
+#include "dist/decomposition.hpp"
+#include "util/check.hpp"
+
+namespace ccf::dist {
+
+template <typename T>
+class DistArray2D {
+ public:
+  DistArray2D(const BlockDecomposition& decomp, int rank)
+      : decomp_(decomp), rank_(rank), local_(decomp.box_of(rank)) {
+    storage_.assign(static_cast<std::size_t>(local_.count()), T{});
+  }
+
+  const BlockDecomposition& decomposition() const { return decomp_; }
+  int rank() const { return rank_; }
+  const Box& local_box() const { return local_; }
+  std::size_t local_count() const { return storage_.size(); }
+  std::size_t local_bytes() const { return storage_.size() * sizeof(T); }
+
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+
+  /// Access by *global* index; (r, c) must be inside the local box.
+  T& at(Index r, Index c) {
+    CCF_CHECK(local_.contains(r, c), "global (" << r << "," << c << ") not in local box " << local_);
+    return storage_[offset(r, c)];
+  }
+  const T& at(Index r, Index c) const {
+    CCF_CHECK(local_.contains(r, c), "global (" << r << "," << c << ") not in local box " << local_);
+    return storage_[offset(r, c)];
+  }
+
+  /// Fills the local block from a function of global indices.
+  template <typename Fn>
+  void fill(Fn&& fn) {
+    for (Index r = local_.row_begin; r < local_.row_end; ++r) {
+      for (Index c = local_.col_begin; c < local_.col_end; ++c) {
+        storage_[offset(r, c)] = fn(r, c);
+      }
+    }
+  }
+
+  /// Copies the elements of `box` (global indices, must be inside the local
+  /// box) into a dense row-major buffer.
+  std::vector<T> pack(const Box& box) const {
+    CCF_REQUIRE(local_.contains(box), "pack box " << box << " escapes local box " << local_);
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(box.count()));
+    for (Index r = box.row_begin; r < box.row_end; ++r) {
+      const std::size_t base = offset(r, box.col_begin);
+      out.insert(out.end(), storage_.begin() + static_cast<std::ptrdiff_t>(base),
+                 storage_.begin() + static_cast<std::ptrdiff_t>(base + static_cast<std::size_t>(box.cols())));
+    }
+    return out;
+  }
+
+  /// Inverse of pack(): writes a dense row-major buffer into `box`.
+  void unpack(const Box& box, const std::vector<T>& buf) {
+    CCF_REQUIRE(local_.contains(box), "unpack box " << box << " escapes local box " << local_);
+    CCF_REQUIRE(buf.size() == static_cast<std::size_t>(box.count()),
+                "unpack buffer has " << buf.size() << " elements, box needs " << box.count());
+    std::size_t src = 0;
+    for (Index r = box.row_begin; r < box.row_end; ++r) {
+      const std::size_t base = offset(r, box.col_begin);
+      for (Index c = 0; c < box.cols(); ++c) storage_[base + static_cast<std::size_t>(c)] = buf[src++];
+    }
+  }
+
+ private:
+  std::size_t offset(Index r, Index c) const {
+    return static_cast<std::size_t>((r - local_.row_begin) * local_.cols() +
+                                    (c - local_.col_begin));
+  }
+
+  BlockDecomposition decomp_;
+  int rank_;
+  Box local_;
+  std::vector<T> storage_;
+};
+
+}  // namespace ccf::dist

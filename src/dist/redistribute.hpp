@@ -1,0 +1,93 @@
+// Executes an MxN redistribution schedule over the transport.
+//
+// The exporter side sends each scheduled piece (packed row-major) to the
+// destination process; the importer side receives and unpacks into its
+// local block. Sends can source either a live DistArray2D or a packed
+// snapshot buffer — the coupling framework transfers *buffered* exports,
+// which are snapshots taken at export time, not live arrays.
+//
+// Per transfer instance the caller supplies a unique tag; block-to-block
+// intersections are single rectangles, so (src, dst, tag) uniquely
+// identifies every message of a transfer.
+#pragma once
+
+#include <vector>
+
+#include "dist/dist_array.hpp"
+#include "dist/schedule.hpp"
+#include "runtime/process_context.hpp"
+#include "transport/serialize.hpp"
+#include "util/check.hpp"
+
+namespace ccf::dist {
+
+using runtime::ProcessContext;
+using runtime::ProcId;
+using runtime::Tag;
+
+/// Extracts `piece` (global indices) from a packed row-major buffer whose
+/// extent is `buf_box`. `piece` must lie inside `buf_box`.
+template <typename T>
+std::vector<T> pack_from_packed(const Box& buf_box, const std::vector<T>& buf, const Box& piece) {
+  CCF_REQUIRE(buf_box.contains(piece), "piece " << piece << " escapes buffer box " << buf_box);
+  CCF_REQUIRE(buf.size() == static_cast<std::size_t>(buf_box.count()),
+              "buffer has " << buf.size() << " elements, box needs " << buf_box.count());
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(piece.count()));
+  for (Index r = piece.row_begin; r < piece.row_end; ++r) {
+    const auto base = static_cast<std::size_t>((r - buf_box.row_begin) * buf_box.cols() +
+                                               (piece.col_begin - buf_box.col_begin));
+    out.insert(out.end(), buf.begin() + static_cast<std::ptrdiff_t>(base),
+               buf.begin() + static_cast<std::ptrdiff_t>(base + static_cast<std::size_t>(piece.cols())));
+  }
+  return out;
+}
+
+/// Sends this exporter rank's pieces from a packed snapshot.
+/// `dst_procs[r]` is the global ProcId of importer rank r.
+template <typename T>
+void execute_sends_packed(ProcessContext& ctx, const RedistSchedule& sched, int my_src_rank,
+                          const std::vector<ProcId>& dst_procs, Tag tag, const Box& snapshot_box,
+                          const std::vector<T>& snapshot) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  for (const auto& piece : sched.sends_of(my_src_rank)) {
+    std::vector<T> payload = pack_from_packed(snapshot_box, snapshot, piece.box);
+    transport::Writer w;
+    w.put_vector(payload);
+    ctx.send(dst_procs.at(static_cast<std::size_t>(piece.dst_rank)), tag, w.take());
+  }
+}
+
+/// Sends this exporter rank's pieces directly from a live array.
+template <typename T>
+void execute_sends(ProcessContext& ctx, const RedistSchedule& sched, int my_src_rank,
+                   const std::vector<ProcId>& dst_procs, Tag tag, const DistArray2D<T>& array) {
+  execute_sends_packed(ctx, sched, my_src_rank, dst_procs, tag, array.local_box(),
+                       array.pack(array.local_box()));
+}
+
+/// Receives this importer rank's pieces and unpacks them into `array`.
+/// `src_procs[r]` is the global ProcId of exporter rank r. Piece boxes are
+/// in source coordinates; the schedule's destination offset translates
+/// them into the destination's index space (0 for same-domain transfers).
+template <typename T>
+void execute_recvs(ProcessContext& ctx, const RedistSchedule& sched, int my_dst_rank,
+                   const std::vector<ProcId>& src_procs, Tag tag, DistArray2D<T>& array) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  for (const auto& piece : sched.recvs_of(my_dst_rank)) {
+    runtime::Message m = ctx.recv(runtime::MatchSpec{
+        src_procs.at(static_cast<std::size_t>(piece.src_rank)), tag});
+    transport::Reader r(m.payload);
+    std::vector<T> payload = r.get_vector<T>();
+    CCF_CHECK(payload.size() == static_cast<std::size_t>(piece.box.count()),
+              "piece payload size mismatch for box " << piece.box);
+    Box local = piece.box;
+    local.row_begin -= sched.dst_row_offset();
+    local.row_end -= sched.dst_row_offset();
+    local.col_begin -= sched.dst_col_offset();
+    local.col_end -= sched.dst_col_offset();
+    array.unpack(local, payload);
+  }
+}
+
+}  // namespace ccf::dist

@@ -1,0 +1,71 @@
+// MxN redistribution schedules.
+//
+// Given the exporter's decomposition, the importer's decomposition, and a
+// transfer region, the schedule lists — per exporter rank — which sub-box
+// goes to which importer rank, and symmetrically per importer rank. Both
+// sides compute the schedule independently from metadata (deterministic,
+// no negotiation traffic), the approach used by Meta-Chaos / InterComm /
+// the CCA MxN working group the paper builds on.
+#pragma once
+
+#include <vector>
+
+#include "dist/decomposition.hpp"
+
+namespace ccf::dist {
+
+/// One hop of a redistribution: `box` (global indices) travels between
+/// exporter rank `src_rank` and importer rank `dst_rank`.
+struct TransferPiece {
+  int src_rank = 0;
+  int dst_rank = 0;
+  Box box;
+
+  friend bool operator==(const TransferPiece& a, const TransferPiece& b) {
+    return a.src_rank == b.src_rank && a.dst_rank == b.dst_rank && a.box == b.box;
+  }
+};
+
+class RedistSchedule {
+ public:
+  /// Builds the full piece list for moving `region` from `src` to `dst`
+  /// layouts. Both decompositions must cover `region`.
+  RedistSchedule(const BlockDecomposition& src, const BlockDecomposition& dst, const Box& region);
+
+  /// Windowed variant: the destination's domain maps onto the sub-box of
+  /// the source domain whose origin is (dst_row_offset, dst_col_offset) —
+  /// i.e., dst global index (r, c) corresponds to source index
+  /// (r + dst_row_offset, c + dst_col_offset). `region` is given in
+  /// SOURCE coordinates and must lie inside both the source domain and
+  /// the translated destination domain. Piece boxes are recorded in
+  /// source coordinates; receivers translate back when unpacking (see
+  /// execute_recvs' offset parameters).
+  RedistSchedule(const BlockDecomposition& src, const BlockDecomposition& dst, const Box& region,
+                 Index dst_row_offset, Index dst_col_offset);
+
+  Index dst_row_offset() const { return dst_row_offset_; }
+  Index dst_col_offset() const { return dst_col_offset_; }
+
+  const Box& region() const { return region_; }
+  const std::vector<TransferPiece>& pieces() const { return pieces_; }
+
+  /// Pieces this exporter rank must send, in deterministic order.
+  std::vector<TransferPiece> sends_of(int src_rank) const;
+
+  /// Pieces this importer rank must receive, in deterministic order.
+  std::vector<TransferPiece> recvs_of(int dst_rank) const;
+
+  /// Total elements moved (== region.count() when src/dst cover region).
+  Index total_elements() const;
+
+  /// Number of distinct (src, dst) pairs that exchange a message.
+  std::size_t message_count() const { return pieces_.size(); }
+
+ private:
+  Box region_;
+  Index dst_row_offset_ = 0;
+  Index dst_col_offset_ = 0;
+  std::vector<TransferPiece> pieces_;
+};
+
+}  // namespace ccf::dist

@@ -1,0 +1,19 @@
+#include "runtime/cluster.hpp"
+
+#include "runtime/thread_cluster.hpp"
+#include "runtime/virtual_time_cluster.hpp"
+#include "util/check.hpp"
+
+namespace ccf::runtime {
+
+std::unique_ptr<Cluster> make_cluster(const ClusterOptions& options) {
+  switch (options.mode) {
+    case ExecutionMode::RealThreads:
+      return std::make_unique<ThreadCluster>(options);
+    case ExecutionMode::VirtualTime:
+      return std::make_unique<VirtualTimeCluster>(options);
+  }
+  throw util::InvalidArgument("unknown execution mode");
+}
+
+}  // namespace ccf::runtime

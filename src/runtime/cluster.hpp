@@ -1,0 +1,38 @@
+// Cluster launcher: registers process bodies, runs them to completion under
+// the selected execution mode, and propagates the first failure.
+#pragma once
+
+#include <memory>
+
+#include "runtime/process_context.hpp"
+
+namespace ccf::runtime {
+
+enum class ExecutionMode {
+  RealThreads,  ///< one OS thread per process, wall-clock time
+  VirtualTime,  ///< deterministic discrete-event virtual time
+};
+
+struct ClusterOptions {
+  ExecutionMode mode = ExecutionMode::VirtualTime;
+  std::shared_ptr<const transport::LatencyModel> latency = transport::zero_model();
+  CopyCostModel copy_cost = CopyCostModel::pentium4_preset();
+};
+
+class Cluster {
+ public:
+  virtual ~Cluster() = default;
+
+  /// Registers a process. Ids must be unique and non-negative.
+  virtual void add_process(ProcId id, ProcessBody body) = 0;
+
+  /// Runs all processes to completion; rethrows the first process failure.
+  virtual void run() = 0;
+
+  /// Virtual end time (VirtualTime mode) or elapsed wall seconds.
+  virtual double end_time() const = 0;
+};
+
+std::unique_ptr<Cluster> make_cluster(const ClusterOptions& options = {});
+
+}  // namespace ccf::runtime

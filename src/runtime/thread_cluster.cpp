@@ -1,0 +1,117 @@
+#include "runtime/thread_cluster.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/work.hpp"
+
+namespace ccf::runtime {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+class ThreadContext final : public ProcessContext {
+ public:
+  ThreadContext(ProcId id, transport::Network& network,
+                std::shared_ptr<transport::Mailbox> mailbox, clock::time_point epoch,
+                const CopyCostModel& copy_cost)
+      : id_(id), network_(network), mailbox_(std::move(mailbox)), epoch_(epoch),
+        copy_cost_(copy_cost) {}
+
+  ProcId id() const override { return id_; }
+
+  void send(ProcId dst, Tag tag, Payload payload) override {
+    Message m;
+    m.src = id_;
+    m.dst = dst;
+    m.tag = tag;
+    m.payload = payload ? std::move(payload) : transport::empty_payload();
+    network_.send(std::move(m));
+  }
+
+  Message recv(const MatchSpec& spec) override { return mailbox_->receive(spec); }
+
+  std::optional<Message> try_recv(const MatchSpec& spec) override {
+    return mailbox_->try_receive(spec);
+  }
+
+  bool probe(const MatchSpec& spec) override { return mailbox_->probe(spec); }
+
+  std::optional<Message> recv_until(const MatchSpec& spec, double deadline) override {
+    const auto abs_deadline =
+        epoch_ + std::chrono::duration_cast<clock::duration>(std::chrono::duration<double>(deadline));
+    return mailbox_->receive_until(spec, abs_deadline);
+  }
+
+  double now() const override {
+    return std::chrono::duration<double>(clock::now() - epoch_).count();
+  }
+
+  void compute(double seconds) override { util::spin_for_us(seconds * 1e6); }
+
+  void copy(void* dst, const void* src, std::size_t bytes) override {
+    std::memcpy(dst, src, bytes);
+  }
+
+  void charge_copy_cost(std::size_t) override {
+    // Real mode: the actual operation already took real time; nothing to add.
+  }
+
+  const CopyCostModel& copy_cost_model() const override { return copy_cost_; }
+
+ private:
+  ProcId id_;
+  transport::Network& network_;
+  std::shared_ptr<transport::Mailbox> mailbox_;
+  clock::time_point epoch_;
+  const CopyCostModel& copy_cost_;
+};
+
+}  // namespace
+
+ThreadCluster::ThreadCluster(ClusterOptions options) : options_(std::move(options)) {}
+
+void ThreadCluster::add_process(ProcId id, ProcessBody body) {
+  CCF_REQUIRE(!ran_, "cannot add processes after run()");
+  CCF_REQUIRE(body != nullptr, "process body must be callable");
+  network_.register_process(id);  // validates uniqueness
+  registrations_.push_back({id, std::move(body)});
+}
+
+void ThreadCluster::run() {
+  CCF_REQUIRE(!ran_, "run() called twice");
+  CCF_REQUIRE(!registrations_.empty(), "no processes registered");
+  ran_ = true;
+
+  const auto epoch = clock::now();
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(registrations_.size());
+  for (auto& reg : registrations_) {
+    threads.emplace_back([&, this] {
+      ThreadContext ctx(reg.id, network_, network_.mailbox(reg.id), epoch,
+                        options_.copy_cost);
+      try {
+        reg.body(ctx);
+      } catch (const transport::MailboxClosed&) {
+        // Teardown path after another process failed; keep the first error.
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        network_.shutdown();  // unblock peers waiting in recv()
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  end_time_ = std::chrono::duration<double>(clock::now() - epoch).count();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ccf::runtime

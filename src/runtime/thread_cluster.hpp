@@ -1,0 +1,36 @@
+// Real-thread execution backend: one OS thread per simulated process over
+// the in-memory Network, with wall-clock timing and real memcpys.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "transport/network.hpp"
+
+namespace ccf::runtime {
+
+class ThreadCluster final : public Cluster {
+ public:
+  explicit ThreadCluster(ClusterOptions options);
+
+  void add_process(ProcId id, ProcessBody body) override;
+  void run() override;
+  double end_time() const override { return end_time_; }
+
+ private:
+  struct Registration {
+    ProcId id;
+    ProcessBody body;
+  };
+
+  ClusterOptions options_;
+  transport::Network network_;
+  std::vector<Registration> registrations_;
+  double end_time_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace ccf::runtime

@@ -1,0 +1,75 @@
+#include "runtime/virtual_time_cluster.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace ccf::runtime {
+
+namespace {
+
+class VirtualContext final : public ProcessContext {
+ public:
+  VirtualContext(simtime::SimContext& ctx, const CopyCostModel& copy_cost)
+      : ctx_(ctx), copy_cost_(copy_cost) {}
+
+  ProcId id() const override { return ctx_.id(); }
+
+  void send(ProcId dst, Tag tag, Payload payload) override {
+    ctx_.send(dst, tag, std::move(payload));
+  }
+
+  Message recv(const MatchSpec& spec) override { return ctx_.recv(spec); }
+
+  std::optional<Message> try_recv(const MatchSpec& spec) override {
+    return ctx_.try_recv(spec);
+  }
+
+  bool probe(const MatchSpec& spec) override { return ctx_.probe(spec); }
+
+  std::optional<Message> recv_until(const MatchSpec& spec, double deadline) override {
+    return ctx_.recv_until(spec, deadline);
+  }
+
+  double now() const override { return ctx_.now(); }
+
+  void compute(double seconds) override { ctx_.advance(seconds); }
+
+  void copy(void* dst, const void* src, std::size_t bytes) override {
+    std::memcpy(dst, src, bytes);
+    ctx_.advance(copy_cost_.cost_seconds(bytes));
+  }
+
+  void charge_copy_cost(std::size_t bytes) override {
+    ctx_.advance(copy_cost_.cost_seconds(bytes));
+  }
+
+  const CopyCostModel& copy_cost_model() const override { return copy_cost_; }
+
+ private:
+  simtime::SimContext& ctx_;
+  const CopyCostModel& copy_cost_;
+};
+
+}  // namespace
+
+VirtualTimeCluster::VirtualTimeCluster(ClusterOptions options)
+    : options_(std::move(options)),
+      cluster_(simtime::VirtualCluster::Options{options_.latency, 500'000'000}) {}
+
+void VirtualTimeCluster::add_process(ProcId id, ProcessBody body) {
+  CCF_REQUIRE(!ran_, "cannot add processes after run()");
+  CCF_REQUIRE(body != nullptr, "process body must be callable");
+  cluster_.add_process(id, [this, body = std::move(body)](simtime::SimContext& sim_ctx) {
+    VirtualContext ctx(sim_ctx, options_.copy_cost);
+    body(ctx);
+  });
+}
+
+void VirtualTimeCluster::run() {
+  CCF_REQUIRE(!ran_, "run() called twice");
+  ran_ = true;
+  cluster_.run();
+}
+
+}  // namespace ccf::runtime

@@ -1,0 +1,33 @@
+// Virtual-time execution backend: adapts the deterministic discrete-event
+// executor (simtime::VirtualCluster) to the ProcessContext interface.
+// compute() advances the virtual clock; copy() performs the real memcpy
+// (data correctness is still verified end-to-end) *and* charges the
+// modeled buffering cost in virtual time.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "simtime/virtual_cluster.hpp"
+
+namespace ccf::runtime {
+
+class VirtualTimeCluster final : public Cluster {
+ public:
+  explicit VirtualTimeCluster(ClusterOptions options);
+
+  void add_process(ProcId id, ProcessBody body) override;
+  void run() override;
+  double end_time() const override { return cluster_.end_time(); }
+
+  std::uint64_t events_processed() const { return cluster_.events_processed(); }
+  std::uint64_t messages_delivered() const { return cluster_.messages_delivered(); }
+
+ private:
+  ClusterOptions options_;
+  simtime::VirtualCluster cluster_;
+  bool ran_ = false;
+};
+
+}  // namespace ccf::runtime

@@ -1,0 +1,37 @@
+#include "sim/forcing.hpp"
+
+#include <cmath>
+
+namespace ccf::sim {
+
+double ForcingField::value(double t, double x, double y, double rows, double cols) {
+  // A Gaussian source orbiting the domain center: smooth in space and
+  // time, never identically zero, period ~200 time units.
+  const double cx = 0.5 * rows + 0.25 * rows * std::cos(t * 0.031415926);
+  const double cy = 0.5 * cols + 0.25 * cols * std::sin(t * 0.031415926);
+  const double sigma2 = 0.01 * rows * cols + 1.0;
+  const double dx = x - cx;
+  const double dy = y - cy;
+  return std::exp(-(dx * dx + dy * dy) / sigma2);
+}
+
+void ForcingField::fill(double t) {
+  const auto rows = static_cast<double>(field_.decomposition().rows());
+  const auto cols = static_cast<double>(field_.decomposition().cols());
+  field_.fill([&](dist::Index r, dist::Index c) {
+    return value(t, static_cast<double>(r), static_cast<double>(c), rows, cols);
+  });
+}
+
+void ForcingField::touch(double t) {
+  // Stamp the first row of the local block with (t, global row/col), so
+  // exported versions differ and receivers can verify which timestamp they
+  // got without paying a full analytic fill per step.
+  const dist::Box& box = field_.local_box();
+  double* data = field_.data();
+  data[0] = t;
+  if (box.count() > 1) data[1] = static_cast<double>(box.row_begin);
+  if (box.count() > 2) data[2] = static_cast<double>(box.col_begin);
+}
+
+}  // namespace ccf::sim

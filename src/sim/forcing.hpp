@@ -1,0 +1,38 @@
+// The forcing-function component f(t, x, y) (program F in the paper's
+// micro-benchmark, §5).
+//
+// f is an analytic travelling Gaussian pulse — an external input source for
+// the wave/diffusion component. fill() evaluates the full local block
+// (used by the examples and correctness tests); touch() performs a cheap
+// per-timestep update that still makes every version distinguishable
+// (used by the long timing benchmark, where a full analytic fill per
+// iteration would dominate host CPU without affecting the modeled times).
+#pragma once
+
+#include "dist/dist_array.hpp"
+
+namespace ccf::sim {
+
+class ForcingField {
+ public:
+  ForcingField(const dist::BlockDecomposition& decomp, int rank)
+      : field_(decomp, rank) {}
+
+  /// Full analytic evaluation of f(t, x, y) on the local block.
+  void fill(double t);
+
+  /// Cheap per-step refresh: stamps the timestamp into the block so every
+  /// exported version has distinct, verifiable content.
+  void touch(double t);
+
+  /// The analytic forcing function itself.
+  static double value(double t, double x, double y, double rows, double cols);
+
+  const dist::DistArray2D<double>& field() const { return field_; }
+  dist::DistArray2D<double>& field() { return field_; }
+
+ private:
+  dist::DistArray2D<double> field_;
+};
+
+}  // namespace ccf::sim

@@ -1,0 +1,133 @@
+#include "sim/heat2d.hpp"
+
+#include <cmath>
+
+#include "transport/serialize.hpp"
+#include "util/check.hpp"
+
+namespace ccf::sim {
+
+namespace {
+enum Dir : runtime::Tag { North = 0, South = 1, West = 2, East = 3 };
+}
+
+HeatSolver2D::HeatSolver2D(const dist::BlockDecomposition& decomp, int rank,
+                           std::vector<runtime::ProcId> peers, double alpha, double dt,
+                           runtime::Tag tag_base)
+    : decomp_(decomp),
+      rank_(rank),
+      peers_(std::move(peers)),
+      alpha_(alpha),
+      dt_(dt),
+      tag_base_(tag_base),
+      box_(decomp.box_of(rank)),
+      curr_(decomp, rank),
+      next_(decomp, rank) {
+  CCF_REQUIRE(peers_.size() == static_cast<std::size_t>(decomp.nprocs()),
+              "peer list size " << peers_.size() << " != nprocs " << decomp.nprocs());
+  CCF_REQUIRE(alpha > 0, "diffusivity must be positive");
+  CCF_REQUIRE(dt > 0, "time step must be positive");
+  CCF_REQUIRE(dt <= 1.0 / (4.0 * alpha),
+              "explicit diffusion unstable: dt " << dt << " > 1/(4 alpha) = "
+                                                 << 1.0 / (4.0 * alpha));
+  halo_north_.assign(static_cast<std::size_t>(box_.cols()), 0.0);
+  halo_south_.assign(static_cast<std::size_t>(box_.cols()), 0.0);
+  halo_west_.assign(static_cast<std::size_t>(box_.rows()), 0.0);
+  halo_east_.assign(static_cast<std::size_t>(box_.rows()), 0.0);
+}
+
+void HeatSolver2D::exchange_halos(runtime::ProcessContext& ctx) {
+  const int pc = decomp_.proc_cols();
+  const int gr = rank_ / pc;
+  const int gc = rank_ % pc;
+
+  struct Neighbour {
+    bool exists;
+    int rank;
+    Dir send_dir;  ///< direction label at the receiver
+  };
+  const Neighbour north{gr > 0, rank_ - pc, South};
+  const Neighbour south{gr + 1 < decomp_.proc_rows(), rank_ + pc, North};
+  const Neighbour west{gc > 0, rank_ - 1, East};
+  const Neighbour east{gc + 1 < pc, rank_ + 1, West};
+
+  auto pack_row = [&](dist::Index r) {
+    std::vector<double> row(static_cast<std::size_t>(box_.cols()));
+    for (dist::Index c = box_.col_begin; c < box_.col_end; ++c) {
+      row[static_cast<std::size_t>(c - box_.col_begin)] = curr_.at(r, c);
+    }
+    return row;
+  };
+  auto pack_col = [&](dist::Index c) {
+    std::vector<double> col(static_cast<std::size_t>(box_.rows()));
+    for (dist::Index r = box_.row_begin; r < box_.row_end; ++r) {
+      col[static_cast<std::size_t>(r - box_.row_begin)] = curr_.at(r, c);
+    }
+    return col;
+  };
+  auto send_edge = [&](const Neighbour& n, std::vector<double> edge) {
+    if (!n.exists) return;
+    transport::Writer w;
+    w.put_vector(edge);
+    ctx.send(peers_[static_cast<std::size_t>(n.rank)], tag_base_ + n.send_dir, w.take());
+  };
+  send_edge(north, pack_row(box_.row_begin));
+  send_edge(south, pack_row(box_.row_end - 1));
+  send_edge(west, pack_col(box_.col_begin));
+  send_edge(east, pack_col(box_.col_end - 1));
+
+  auto recv_edge = [&](const Neighbour& n, Dir my_dir, std::vector<double>& halo) {
+    if (!n.exists) {
+      std::fill(halo.begin(), halo.end(), 0.0);
+      return;
+    }
+    runtime::Message m = ctx.recv(
+        runtime::MatchSpec{peers_[static_cast<std::size_t>(n.rank)], tag_base_ + my_dir});
+    transport::Reader r(m.payload);
+    halo = r.get_vector<double>();
+  };
+  recv_edge(north, North, halo_north_);
+  recv_edge(south, South, halo_south_);
+  recv_edge(west, West, halo_west_);
+  recv_edge(east, East, halo_east_);
+}
+
+double HeatSolver2D::u_at(dist::Index r, dist::Index c) const {
+  if (box_.contains(r, c)) return curr_.at(r, c);
+  if (r < 0 || r >= decomp_.rows() || c < 0 || c >= decomp_.cols()) return 0.0;
+  if (r == box_.row_begin - 1) return halo_north_[static_cast<std::size_t>(c - box_.col_begin)];
+  if (r == box_.row_end) return halo_south_[static_cast<std::size_t>(c - box_.col_begin)];
+  if (c == box_.col_begin - 1) return halo_west_[static_cast<std::size_t>(r - box_.row_begin)];
+  if (c == box_.col_end) return halo_east_[static_cast<std::size_t>(r - box_.row_begin)];
+  throw util::InternalError("stencil reached beyond the one-cell halo");
+}
+
+void HeatSolver2D::step(runtime::ProcessContext& ctx, const dist::DistArray2D<double>& f) {
+  CCF_REQUIRE(f.local_box() == box_, "forcing field layout mismatch");
+  exchange_halos(ctx);
+  for (dist::Index r = box_.row_begin; r < box_.row_end; ++r) {
+    for (dist::Index c = box_.col_begin; c < box_.col_end; ++c) {
+      const double lap = u_at(r - 1, c) + u_at(r + 1, c) + u_at(r, c - 1) + u_at(r, c + 1) -
+                         4.0 * curr_.at(r, c);
+      next_.at(r, c) = curr_.at(r, c) + dt_ * (alpha_ * lap + f.at(r, c));
+    }
+  }
+  std::swap(curr_, next_);
+  ++steps_;
+}
+
+double HeatSolver2D::local_sum() const {
+  double s = 0;
+  const double* data = curr_.data();
+  for (std::size_t i = 0; i < curr_.local_count(); ++i) s += data[i];
+  return s;
+}
+
+double HeatSolver2D::local_max_abs() const {
+  double m = 0;
+  const double* data = curr_.data();
+  for (std::size_t i = 0; i < curr_.local_count(); ++i) m = std::max(m, std::abs(data[i]));
+  return m;
+}
+
+}  // namespace ccf::sim

@@ -1,0 +1,57 @@
+// Parallel explicit solver for the 2-D diffusion (heat) equation
+//     u_t = alpha (u_xx + u_yy) + f(t, x, y)
+// — the equation family the paper's micro-benchmark names (§5). Forward
+// Euler in time, 5-point Laplacian, Dirichlet-0 boundaries, halo exchange
+// per step. Complements WaveSolver2D (the hyperbolic u_tt form) so both
+// interpretations of the paper's model problem are available as coupled
+// components.
+#pragma once
+
+#include <vector>
+
+#include "dist/dist_array.hpp"
+#include "runtime/process_context.hpp"
+
+namespace ccf::sim {
+
+class HeatSolver2D {
+ public:
+  /// Stability (unit grid spacing) requires dt <= 1 / (4 alpha); the
+  /// constructor enforces it. `peers[r]` is the global id of rank r.
+  HeatSolver2D(const dist::BlockDecomposition& decomp, int rank,
+               std::vector<runtime::ProcId> peers, double alpha, double dt,
+               runtime::Tag tag_base = 0x2000);
+
+  template <typename Fn>
+  void set_initial(Fn&& fn) {
+    curr_.fill(fn);
+  }
+
+  /// Advances one step with the forcing field (same decomposition).
+  void step(runtime::ProcessContext& ctx, const dist::DistArray2D<double>& f);
+
+  const dist::DistArray2D<double>& u() const { return curr_; }
+  int steps_taken() const { return steps_; }
+  double time() const { return static_cast<double>(steps_) * dt_; }
+
+  double local_sum() const;     ///< sum of u over the local block
+  double local_max_abs() const; ///< max |u| over the local block
+
+ private:
+  void exchange_halos(runtime::ProcessContext& ctx);
+  double u_at(dist::Index r, dist::Index c) const;
+
+  dist::BlockDecomposition decomp_;
+  int rank_;
+  std::vector<runtime::ProcId> peers_;
+  double alpha_;
+  double dt_;
+  runtime::Tag tag_base_;
+  dist::Box box_;
+  dist::DistArray2D<double> curr_;
+  dist::DistArray2D<double> next_;
+  std::vector<double> halo_north_, halo_south_, halo_west_, halo_east_;
+  int steps_ = 0;
+};
+
+}  // namespace ccf::sim

@@ -1,0 +1,63 @@
+#include "sim/imbalance.hpp"
+
+namespace ccf::sim {
+
+ImbalanceKind parse_imbalance(const std::string& text) {
+  if (text == "constant") return ImbalanceKind::Constant;
+  if (text == "jitter") return ImbalanceKind::Jitter;
+  if (text == "slowjitter") return ImbalanceKind::SlowJitter;
+  if (text == "rotating") return ImbalanceKind::Rotating;
+  if (text == "burst") return ImbalanceKind::Burst;
+  throw util::InvalidArgument("unknown imbalance model '" + text +
+                              "' (constant/jitter/slowjitter/rotating/burst)");
+}
+
+std::string to_string(ImbalanceKind kind) {
+  switch (kind) {
+    case ImbalanceKind::Constant: return "constant";
+    case ImbalanceKind::Jitter: return "jitter";
+    case ImbalanceKind::SlowJitter: return "slowjitter";
+    case ImbalanceKind::Rotating: return "rotating";
+    case ImbalanceKind::Burst: return "burst";
+  }
+  return "?";
+}
+
+namespace {
+/// Deterministic per-(seed, rank, iter) uniform in [0, 1).
+double hash_uniform(std::uint64_t seed, int rank, int iter) {
+  util::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(rank) << 32) ^
+                      static_cast<std::uint64_t>(iter));
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+double ImbalanceModel::factor(int rank, int nprocs, int iter) const {
+  CCF_REQUIRE(nprocs > 0 && rank >= 0 && rank < nprocs, "bad rank/nprocs");
+  CCF_REQUIRE(slow_factor >= 1.0, "slow factor must be >= 1");
+  CCF_REQUIRE(amplitude >= 0.0, "amplitude must be >= 0");
+  const int straggler = slow_rank < 0 ? nprocs - 1 : slow_rank;
+  switch (kind) {
+    case ImbalanceKind::Constant:
+      return rank == straggler ? slow_factor : 1.0;
+    case ImbalanceKind::Jitter:
+      return 1.0 + amplitude * hash_uniform(seed, rank, iter);
+    case ImbalanceKind::SlowJitter:
+      return (rank == straggler ? slow_factor : 1.0) +
+             amplitude * hash_uniform(seed, rank, iter);
+    case ImbalanceKind::Rotating: {
+      CCF_REQUIRE(period > 0, "rotation period must be positive");
+      const int active = (iter / period) % nprocs;
+      return rank == active ? slow_factor : 1.0;
+    }
+    case ImbalanceKind::Burst: {
+      CCF_REQUIRE(period > 0, "burst period must be positive");
+      const bool in_burst =
+          (iter % period) < static_cast<int>(duty * static_cast<double>(period));
+      return (rank == straggler && in_burst) ? slow_factor : 1.0;
+    }
+  }
+  throw util::InternalError("unhandled imbalance kind");
+}
+
+}  // namespace ccf::sim

@@ -1,0 +1,44 @@
+// Load-imbalance models for the micro-benchmark's slow process.
+//
+// The paper attributes slow processes to "imperfect load balancing within
+// the component or other application-specific reasons" (§1) and slows one
+// process by a constant factor in §5. These models generalize that: the
+// per-iteration compute time of each rank is drawn from a configurable
+// pattern, letting the ablations ask how buddy-help behaves when the
+// straggler identity is noisy or time-varying (e.g. AMR-style load waves).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::sim {
+
+enum class ImbalanceKind {
+  Constant,   ///< rank `slow_rank` always pays `slow_factor`, others 1.0 (the paper)
+  Jitter,     ///< every rank pays 1.0 + uniform[0, amplitude) each iteration
+  SlowJitter, ///< constant straggler plus jitter on every rank
+  Rotating,   ///< the straggler role rotates across ranks every `period` iterations
+  Burst,      ///< the straggler pays `slow_factor` only during periodic bursts
+};
+
+ImbalanceKind parse_imbalance(const std::string& text);
+std::string to_string(ImbalanceKind kind);
+
+struct ImbalanceModel {
+  ImbalanceKind kind = ImbalanceKind::Constant;
+  int slow_rank = -1;        ///< -1: last rank
+  double slow_factor = 3.57 / 1.43;  ///< straggler multiplier over the base
+  double amplitude = 0.5;    ///< jitter amplitude (fraction of base)
+  int period = 50;           ///< rotation/burst period in iterations
+  double duty = 0.5;         ///< burst duty cycle
+  std::uint64_t seed = 42;
+
+  /// Compute-time multiplier (>= 1) for `rank` of `nprocs` at iteration
+  /// `iter`. Deterministic in (seed, rank, iter).
+  double factor(int rank, int nprocs, int iter) const;
+};
+
+}  // namespace ccf::sim

@@ -1,0 +1,66 @@
+// Parallel solver for u_tt = u_xx + u_yy + f(t, x, y) — the receiving
+// component (program U) of the paper's micro-benchmark (§5).
+//
+// Explicit leapfrog in time, 5-point Laplacian in space, Dirichlet-0
+// boundaries; halo rows/columns are exchanged with grid neighbours through
+// the ProcessContext transport each step (the intra-program communication
+// that loosely synchronizes an SPMD component's processes, paper §5 end).
+#pragma once
+
+#include <vector>
+
+#include "dist/dist_array.hpp"
+#include "runtime/process_context.hpp"
+
+namespace ccf::sim {
+
+using runtime::ProcessContext;
+using runtime::ProcId;
+using runtime::Tag;
+
+class WaveSolver2D {
+ public:
+  /// `peers[r]` is the global ProcId of program rank r. Halo messages use
+  /// tags [tag_base, tag_base + 4).
+  WaveSolver2D(const dist::BlockDecomposition& decomp, int rank, std::vector<ProcId> peers,
+               double dt, Tag tag_base = 0x1000);
+
+  /// Sets u(0) = u(-dt) = fn(r, c) (starts at rest).
+  template <typename Fn>
+  void set_initial(Fn&& fn) {
+    curr_.fill(fn);
+    prev_.fill(fn);
+  }
+
+  /// Advances one time step using the forcing field (same decomposition).
+  void step(ProcessContext& ctx, const dist::DistArray2D<double>& f);
+
+  const dist::DistArray2D<double>& u() const { return curr_; }
+  int steps_taken() const { return steps_; }
+  double time() const { return static_cast<double>(steps_) * dt_; }
+
+  /// Sum of u^2 over the local block (combine with all_reduce for the
+  /// global energy diagnostic).
+  double local_energy() const;
+
+ private:
+  /// Exchanges edge rows/cols with the four grid neighbours.
+  void exchange_halos(ProcessContext& ctx);
+
+  /// u value at (r, c) looking through halos; global-boundary cells are 0.
+  double u_at(dist::Index r, dist::Index c) const;
+
+  dist::BlockDecomposition decomp_;
+  int rank_;
+  std::vector<ProcId> peers_;
+  double dt_;
+  Tag tag_base_;
+  dist::Box box_;
+  dist::DistArray2D<double> prev_;
+  dist::DistArray2D<double> curr_;
+  dist::DistArray2D<double> next_;
+  std::vector<double> halo_north_, halo_south_, halo_west_, halo_east_;
+  int steps_ = 0;
+};
+
+}  // namespace ccf::sim

@@ -1,0 +1,86 @@
+// Network latency/bandwidth models.
+//
+// The virtual-time executor charges each message a delivery delay from one
+// of these models; the same models feed the buffering cost accounting so
+// the deterministic experiments and the real microbenchmarks agree on
+// relative magnitudes. The GigE preset approximates the paper's testbed
+// (Gigabit Ethernet, early-2000s NICs).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace ccf::transport {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Delivery delay in seconds for a message of `bytes` payload bytes.
+  virtual double delay_seconds(std::size_t bytes) const = 0;
+};
+
+/// Instant delivery (pure protocol-order experiments).
+class ZeroLatency final : public LatencyModel {
+ public:
+  double delay_seconds(std::size_t) const override { return 0.0; }
+};
+
+/// Constant per-message delay regardless of size.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(double seconds);
+  double delay_seconds(std::size_t) const override { return seconds_; }
+
+ private:
+  double seconds_;
+};
+
+/// First-order LogP-style model: delay = latency + bytes / bandwidth.
+class BandwidthLatency final : public LatencyModel {
+ public:
+  BandwidthLatency(double latency_seconds, double bytes_per_second);
+  double delay_seconds(std::size_t bytes) const override;
+
+  double latency() const { return latency_; }
+  double bandwidth() const { return bandwidth_; }
+
+ private:
+  double latency_;
+  double bandwidth_;
+};
+
+/// Gigabit-Ethernet-class preset: 50 us latency, ~110 MB/s effective.
+std::shared_ptr<const LatencyModel> gige_model();
+
+/// Shared zero-latency singleton.
+std::shared_ptr<const LatencyModel> zero_model();
+
+/// Memory-copy cost model: seconds to buffer (memcpy) `bytes` within one
+/// node. Mirrors the export-side buffering cost the paper's optimization
+/// eliminates. Default preset approximates ~1.5 GB/s copy bandwidth with a
+/// small per-operation overhead (allocator + bookkeeping), in the ballpark
+/// of the paper's Pentium-4 testbed.
+class CopyCostModel {
+ public:
+  CopyCostModel(double per_op_seconds, double bytes_per_second);
+
+  double cost_seconds(std::size_t bytes) const;
+
+  static const CopyCostModel& pentium4_preset();
+
+  /// Calibrates a model from the host: measures the actual memcpy
+  /// bandwidth over `probe_bytes` (a few repetitions) and pairs it with a
+  /// small constant per-op overhead. Useful when real-thread runs should
+  /// charge realistic virtual costs for this machine.
+  static CopyCostModel measure_host(std::size_t probe_bytes = 1 << 21);
+
+  double per_op_seconds() const { return per_op_seconds_; }
+  double bytes_per_second() const { return bytes_per_second_; }
+
+ private:
+  double per_op_seconds_;
+  double bytes_per_second_;
+};
+
+}  // namespace ccf::transport

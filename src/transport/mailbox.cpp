@@ -1,0 +1,79 @@
+#include "transport/mailbox.hpp"
+
+#include "util/check.hpp"
+
+namespace ccf::transport {
+
+void Mailbox::deliver(Message m) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::extract_locked(const MatchSpec& spec) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (spec.matches(*it)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::receive(const MatchSpec& spec) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto m = extract_locked(spec)) return std::move(*m);
+    if (closed_) throw MailboxClosed{};
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::receive_until(const MatchSpec& spec,
+                                              std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto m = extract_locked(spec)) return m;
+    if (closed_) throw MailboxClosed{};
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return extract_locked(spec);
+    }
+  }
+}
+
+std::optional<Message> Mailbox::try_receive(const MatchSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return extract_locked(spec);
+}
+
+bool Mailbox::probe(const MatchSpec& spec) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& m : queue_) {
+    if (spec.matches(m)) return true;
+  }
+  return false;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace ccf::transport

@@ -1,0 +1,56 @@
+// Message envelope for the in-memory transport.
+//
+// A Message is addressed (src, dst) and tagged like an MPI point-to-point
+// message. Payloads are immutable, shared byte buffers so a broadcast can
+// enqueue the same buffer into many mailboxes without copying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ccf::transport {
+
+/// Global process identifier within one simulated cluster/network.
+using ProcId = std::int32_t;
+
+/// Message tag; negative tags are reserved for framework-internal traffic.
+using Tag = std::int32_t;
+
+inline constexpr ProcId kAnyProc = -1;
+inline constexpr Tag kAnyTag = -1;
+
+using Payload = std::shared_ptr<const std::vector<std::byte>>;
+
+/// Creates a payload by copying `bytes`.
+inline Payload make_payload(std::vector<std::byte> bytes) {
+  return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+}
+
+inline Payload empty_payload() {
+  static const Payload kEmpty = std::make_shared<const std::vector<std::byte>>();
+  return kEmpty;
+}
+
+struct Message {
+  ProcId src = kAnyProc;
+  ProcId dst = kAnyProc;
+  Tag tag = 0;
+  std::uint64_t seq = 0;  ///< per-sender sequence number, set by the network
+  Payload payload;
+
+  std::size_t size_bytes() const { return payload ? payload->size() : 0; }
+};
+
+/// Receive-side matching predicate: src and tag each either exact or wildcard.
+struct MatchSpec {
+  ProcId src = kAnyProc;
+  Tag tag = kAnyTag;
+
+  bool matches(const Message& m) const {
+    return (src == kAnyProc || src == m.src) && (tag == kAnyTag || tag == m.tag);
+  }
+};
+
+}  // namespace ccf::transport

@@ -1,0 +1,114 @@
+// Byte-oriented serialization for message payloads.
+//
+// Writer appends trivially copyable values, strings, and vectors to a byte
+// buffer; Reader consumes them in the same order. Bounds are checked on
+// every read so a malformed payload surfaces as an exception, not UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "transport/message.hpp"
+#include "util/check.hpp"
+
+namespace ccf::transport {
+
+class Writer {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>, "put() requires a trivially copyable type");
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buffer_.insert(buffer_.end(), p, p + sizeof(T));
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buffer_.insert(buffer_.end(), p, p + s.size());
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "put_vector() requires trivially copyable elements");
+    put<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::byte*>(v.data());
+    buffer_.insert(buffer_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  /// Appends raw bytes without a length prefix (caller knows the size).
+  void put_raw(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buffer_.insert(buffer_.end(), p, p + bytes);
+  }
+
+  std::size_t size() const { return buffer_.size(); }
+
+  /// Consumes the writer into an immutable payload.
+  Payload take() { return make_payload(std::move(buffer_)); }
+
+  std::vector<std::byte> take_bytes() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(Payload payload) : payload_(std::move(payload)) {
+    CCF_REQUIRE(payload_ != nullptr, "Reader over null payload");
+  }
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>, "get() requires a trivially copyable type");
+    check_remaining(sizeof(T));
+    T value;
+    std::memcpy(&value, payload_->data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint64_t>();
+    check_remaining(n);
+    std::string s(reinterpret_cast<const char*>(payload_->data() + offset_), n);
+    offset_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>, "get_vector() requires trivially copyable elements");
+    const auto n = get<std::uint64_t>();
+    check_remaining(n * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), payload_->data() + offset_, n * sizeof(T));
+    offset_ += n * sizeof(T);
+    return v;
+  }
+
+  void get_raw(void* out, std::size_t bytes) {
+    check_remaining(bytes);
+    std::memcpy(out, payload_->data() + offset_, bytes);
+    offset_ += bytes;
+  }
+
+  std::size_t remaining() const { return payload_->size() - offset_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void check_remaining(std::size_t need) const {
+    CCF_REQUIRE(payload_->size() - offset_ >= need,
+                "payload underflow: need " << need << " bytes, have " << (payload_->size() - offset_));
+  }
+
+  Payload payload_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace ccf::transport

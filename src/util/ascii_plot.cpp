@@ -1,0 +1,105 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <sstream>
+
+namespace ccf::util {
+
+namespace {
+
+/// Bucket-averages `series` into exactly `width` columns (or fewer when
+/// the series is shorter).
+std::vector<double> resample(const std::vector<double>& series, std::size_t width) {
+  if (series.empty() || series.size() <= width) return series;
+  std::vector<double> out;
+  out.reserve(width);
+  for (std::size_t col = 0; col < width; ++col) {
+    const std::size_t begin = col * series.size() / width;
+    std::size_t end = (col + 1) * series.size() / width;
+    end = std::max(end, begin + 1);
+    double sum = 0;
+    for (std::size_t i = begin; i < end && i < series.size(); ++i) sum += series[i];
+    out.push_back(sum / static_cast<double>(std::min(end, series.size()) - begin));
+  }
+  return out;
+}
+
+std::string format_tick(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%9.3g", v);
+  return buf;
+}
+
+std::string render(const std::vector<std::vector<double>>& layers, const char* marks,
+                   const AsciiPlotOptions& options) {
+  std::ostringstream os;
+  if (!options.y_label.empty()) os << options.y_label << "\n";
+
+  double lo = options.y_auto_min ? std::numeric_limits<double>::infinity() : options.y_min;
+  double hi = -std::numeric_limits<double>::infinity();
+  std::size_t longest = 0;
+  for (const auto& layer : layers) {
+    longest = std::max(longest, layer.size());
+    for (double v : layer) {
+      if (options.y_auto_min) lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (longest == 0) {
+    os << "  (empty series)\n";
+    return os.str();
+  }
+  if (!std::isfinite(lo)) lo = 0;
+  if (!std::isfinite(hi)) hi = lo + 1;
+  if (hi <= lo) hi = lo + 1;
+
+  std::vector<std::vector<double>> cols;
+  std::size_t width = 0;
+  for (const auto& layer : layers) {
+    cols.push_back(resample(layer, options.width));
+    width = std::max(width, cols.back().size());
+  }
+
+  // Grid of cells, top row = max value.
+  std::vector<std::string> grid(options.height, std::string(width, ' '));
+  for (std::size_t layer = 0; layer < cols.size(); ++layer) {
+    for (std::size_t c = 0; c < cols[layer].size(); ++c) {
+      const double frac = (cols[layer][c] - lo) / (hi - lo);
+      auto row = static_cast<std::size_t>(
+          std::lround(frac * static_cast<double>(options.height - 1)));
+      row = std::min(row, options.height - 1);
+      char& cell = grid[options.height - 1 - row][c];
+      cell = (cell == ' ' || cell == marks[layer]) ? marks[layer] : '#';
+    }
+  }
+
+  for (std::size_t r = 0; r < options.height; ++r) {
+    if (r == 0) {
+      os << format_tick(hi) << " |";
+    } else if (r + 1 == options.height) {
+      os << format_tick(lo) << " |";
+    } else {
+      os << "          |";
+    }
+    os << grid[r] << "\n";
+  }
+  os << "          +" << std::string(width, '-') << "\n";
+  if (!options.x_label.empty()) os << "           " << options.x_label << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string ascii_plot(const std::vector<double>& series, const AsciiPlotOptions& options) {
+  return render({series}, "*", options);
+}
+
+std::string ascii_plot2(const std::vector<double>& primary, const std::vector<double>& secondary,
+                        const AsciiPlotOptions& options) {
+  return render({primary, secondary}, "*o", options);
+}
+
+}  // namespace ccf::util

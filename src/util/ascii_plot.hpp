@@ -1,0 +1,28 @@
+// Terminal line plots for the benchmark harnesses: renders a series as an
+// ASCII chart so the paper's figure shapes are visible without leaving the
+// terminal (e.g. the Figure-4 export-time decay).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ccf::util {
+
+struct AsciiPlotOptions {
+  std::size_t width = 72;   ///< plot columns (series is resampled to fit)
+  std::size_t height = 14;  ///< plot rows
+  std::string y_label;      ///< printed above the axis
+  std::string x_label;      ///< printed below the axis
+  double y_min = 0;         ///< fixed lower bound (y_auto=false)
+  bool y_auto_min = true;   ///< derive the lower bound from the data
+};
+
+/// Renders `series` (x = index) as a multi-line string. Empty series
+/// renders an empty frame. Values are bucket-averaged to `width` columns.
+std::string ascii_plot(const std::vector<double>& series, const AsciiPlotOptions& options = {});
+
+/// Overlay of two series ('*' primary, 'o' secondary, '#' where both).
+std::string ascii_plot2(const std::vector<double>& primary, const std::vector<double>& secondary,
+                        const AsciiPlotOptions& options = {});
+
+}  // namespace ccf::util

@@ -1,0 +1,69 @@
+// Error-handling primitives used across the framework.
+//
+// CCF_CHECK(cond, msg)   — internal invariant; throws ccf::util::InternalError.
+// CCF_REQUIRE(cond, msg) — precondition on user-supplied input; throws
+//                          ccf::util::InvalidArgument.
+// Both accept a streamed message: CCF_CHECK(x > 0, "x=" << x).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccf::util {
+
+/// Base class for all framework exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A broken internal invariant (a bug in the framework).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Bad input from the caller (bad config file, bad region spec, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A violation of the framework's collective-operation contract (Property 1):
+/// e.g. processes of one program answering MATCH and NO-MATCH for the same
+/// request, or MATCH answers naming different timestamps.
+class ProtocolViolation : public Error {
+ public:
+  explicit ProtocolViolation(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ccf::util
+
+#define CCF_THROW_IMPL(ExcType, expr_text, msg_stream)                     \
+  do {                                                                     \
+    std::ostringstream ccf_oss_;                                           \
+    ccf_oss_ << "[" << __FILE__ << ":" << __LINE__ << "] " << (expr_text)  \
+             << ": " << msg_stream; /* NOLINT */                           \
+    throw ExcType(ccf_oss_.str());                                         \
+  } while (0)
+
+#define CCF_CHECK(cond, msg_stream)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream ccf_msg_;                                         \
+      ccf_msg_ << msg_stream; /* NOLINT */                                 \
+      CCF_THROW_IMPL(::ccf::util::InternalError, "CHECK failed: " #cond,   \
+                     ccf_msg_.str());                                      \
+    }                                                                      \
+  } while (0)
+
+#define CCF_REQUIRE(cond, msg_stream)                                      \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream ccf_msg_;                                         \
+      ccf_msg_ << msg_stream; /* NOLINT */                                 \
+      CCF_THROW_IMPL(::ccf::util::InvalidArgument,                         \
+                     "REQUIRE failed: " #cond, ccf_msg_.str());            \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,127 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ccf::util {
+
+CliParser::CliParser(std::string program_name, std::string description)
+    : program_name_(std::move(program_name)), description_(std::move(description)) {}
+
+void CliParser::add_option(const std::string& key, const std::string& default_value,
+                           const std::string& help) {
+  CCF_REQUIRE(!options_.count(key), "duplicate option --" << key);
+  options_[key] = Option{default_value, help, /*is_flag=*/false};
+}
+
+void CliParser::add_flag(const std::string& key, const std::string& help) {
+  CCF_REQUIRE(!options_.count(key), "duplicate option --" << key);
+  options_[key] = Option{"false", help, /*is_flag=*/true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      std::string key = body;
+      std::string value;
+      bool has_value = false;
+      if (auto eq = body.find('='); eq != std::string::npos) {
+        key = body.substr(0, eq);
+        value = body.substr(eq + 1);
+        has_value = true;
+      }
+      auto it = options_.find(key);
+      CCF_REQUIRE(it != options_.end(), "unknown option --" << key << "\n" << usage());
+      if (it->second.is_flag) {
+        CCF_REQUIRE(!has_value || value == "true" || value == "false",
+                    "flag --" << key << " takes no value (or true/false)");
+        values_[key] = has_value ? value : "true";
+      } else {
+        CCF_REQUIRE(has_value, "option --" << key << " requires =value");
+        values_[key] = value;
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& key) const {
+  auto opt = options_.find(key);
+  CCF_REQUIRE(opt != options_.end(), "option --" << key << " was never declared");
+  auto val = values_.find(key);
+  return val != values_.end() ? val->second : opt->second.default_value;
+}
+
+long long CliParser::get_int(const std::string& key) const {
+  const std::string text = get(key);
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  CCF_REQUIRE(end && *end == '\0' && !text.empty(), "--" << key << "=" << text << " is not an integer");
+  return v;
+}
+
+double CliParser::get_double(const std::string& key) const {
+  const std::string text = get(key);
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  CCF_REQUIRE(end && *end == '\0' && !text.empty(), "--" << key << "=" << text << " is not a number");
+  return v;
+}
+
+bool CliParser::get_bool(const std::string& key) const {
+  const std::string text = get(key);
+  CCF_REQUIRE(text == "true" || text == "false", "--" << key << "=" << text << " is not true/false");
+  return text == "true";
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << program_name_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [key, opt] : options_) {
+    os << "  --" << key;
+    if (!opt.is_flag) os << "=<value> (default: " << opt.default_value << ")";
+    os << "\n      " << opt.help << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+std::vector<long long> parse_int_list(const std::string& text) {
+  std::vector<long long> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const long long v = std::strtoll(item.c_str(), &end, 10);
+    CCF_REQUIRE(end && *end == '\0', "bad integer in list: '" << item << "'");
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& text) {
+  std::vector<double> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    CCF_REQUIRE(end && *end == '\0', "bad number in list: '" << item << "'");
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ccf::util

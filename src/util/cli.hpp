@@ -1,0 +1,53 @@
+// Tiny command-line option parser for the bench/example binaries.
+//
+// Accepts --key=value and --flag forms; positional arguments are collected
+// in order. Unknown keys are an error so typos in sweep scripts fail fast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ccf::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program_name, std::string description);
+
+  /// Declare an option before parse(); `help` is shown by usage().
+  void add_option(const std::string& key, const std::string& default_value, const std::string& help);
+  void add_flag(const std::string& key, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws InvalidArgument on unknown keys or malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& key) const;
+  long long get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;  ///< for flags and "true"/"false" options
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string program_name_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Splits "4,8,16,32" into integers; used for sweep parameters.
+std::vector<long long> parse_int_list(const std::string& text);
+std::vector<double> parse_double_list(const std::string& text);
+
+}  // namespace ccf::util

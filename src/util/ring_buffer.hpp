@@ -1,0 +1,62 @@
+// Fixed-capacity ring buffer (single-threaded).
+//
+// Used for bounded trace capture and sliding-window statistics where
+// allocation-free steady state matters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ccf::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : storage_(capacity) {
+    CCF_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  /// Appends, overwriting the oldest element when full.
+  void push(T value) {
+    storage_[head_] = std::move(value);
+    head_ = (head_ + 1) % storage_.size();
+    if (size_ < storage_.size()) ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return storage_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == storage_.size(); }
+
+  /// Element `i` counted from the oldest retained entry (0 = oldest).
+  const T& at(std::size_t i) const {
+    CCF_REQUIRE(i < size_, "ring index " << i << " out of range (size " << size_ << ")");
+    const std::size_t start = (head_ + storage_.size() - size_) % storage_.size();
+    return storage_[(start + i) % storage_.size()];
+  }
+
+  const T& newest() const { return at(size_ - 1); }
+  const T& oldest() const { return at(0); }
+
+  void clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+  /// Copies contents oldest-to-newest into a vector.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ccf::util

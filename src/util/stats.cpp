@@ -1,0 +1,133 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ccf::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  CCF_REQUIRE(!values.empty(), "percentile of empty vector");
+  CCF_REQUIRE(q >= 0.0 && q <= 1.0, "quantile " << q << " outside [0,1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  CCF_REQUIRE(xs.size() == ys.size(), "linear_fit size mismatch: " << xs.size() << " vs " << ys.size());
+  LinearFit fit;
+  const std::size_t n = xs.size();
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-300) return fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  return fit;
+}
+
+double mean_of(const std::vector<double>& values, std::size_t first, std::size_t last) {
+  last = std::min(last, values.size());
+  if (first >= last) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = first; i < last; ++i) s += values[i];
+  return s / static_cast<double>(last - first);
+}
+
+std::size_t settle_index(const std::vector<double>& series, std::size_t window,
+                         double plateau_tolerance) {
+  if (series.size() < window || window == 0) return series.size();
+  const double plateau = mean_of(series, series.size() - window, series.size());
+  // Guard against a zero plateau: use an absolute epsilon scaled by the
+  // series peak so relative tolerance stays meaningful.
+  double peak = 0.0;
+  for (double v : series) peak = std::max(peak, std::abs(v));
+  const double band = std::max(std::abs(plateau) * plateau_tolerance, peak * 1e-9);
+
+  // Walk backwards: find the last window whose mean escapes the band; the
+  // settle point is just after it.
+  std::size_t settle = 0;
+  for (std::size_t start = 0; start + window <= series.size(); ++start) {
+    const double m = mean_of(series, start, start + window);
+    if (std::abs(m - plateau) > band) settle = start + 1;
+  }
+  return settle;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  CCF_REQUIRE(hi > lo, "histogram range [" << lo << "," << hi << ") is empty");
+  CCF_REQUIRE(bins > 0, "histogram needs at least one bin");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  double idx = (x - lo_) / width_;
+  std::size_t bin = 0;
+  if (idx >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;
+  } else if (idx > 0) {
+    bin = static_cast<std::size_t>(idx);
+  }
+  counts_[bin] += 1;
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_high(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+}  // namespace ccf::util

@@ -1,0 +1,83 @@
+// Statistics helpers used by the benchmark harness and by the framework's
+// internal accounting: streaming moments (Welford), percentile extraction,
+// least-squares linear fit, and knee detection for the Figure-4 style
+// "time decays until the optimal state" series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccf::util {
+
+/// Streaming mean/variance/min/max over doubles (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;   ///< Sample variance (n-1 denominator); 0 if n < 2.
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation; `q` in [0,1]. Sorts a copy.
+double percentile(std::vector<double> values, double q);
+
+/// Least-squares fit y = a + b*x. Returns {a, b}; b = 0 when degenerate.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Mean of values[first, last) — empty range yields 0.
+double mean_of(const std::vector<double>& values, std::size_t first, std::size_t last);
+
+/// Detects where a decaying series settles onto its final plateau.
+///
+/// Used to reproduce the paper's "iterations needed to reach the optimal
+/// state" claim for Figure 4(c)/(d): the export-time series starts high
+/// (every export buffered) and decays until only matched objects are
+/// buffered. We define the knee as the first index i such that every
+/// subsequent window of `window` samples has mean within
+/// `plateau_tolerance` (relative) of the tail plateau (mean of the last
+/// `window` samples). Returns the series size when no plateau is reached.
+std::size_t settle_index(const std::vector<double>& series, std::size_t window,
+                         double plateau_tolerance);
+
+/// Simple fixed-width histogram over [lo, hi); values outside clamp to the
+/// edge bins. Used by microbenches to show latency spread.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ccf::util

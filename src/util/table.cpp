@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace ccf::util {
+
+TableWriter::TableWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CCF_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+  CCF_REQUIRE(cells.size() == headers_.size(),
+              "row has " << cells.size() << " cells, table has " << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) os << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TableWriter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TableWriter::fmt(std::size_t v) { return std::to_string(v); }
+std::string TableWriter::fmt(long long v) { return std::to_string(v); }
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  CCF_REQUIRE(out_.is_open(), "cannot open CSV output file: " << path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string& cell = cells[i];
+    const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      out_ << '"';
+      for (char ch : cell) {
+        if (ch == '"') out_ << '"';
+        out_ << ch;
+      }
+      out_ << '"';
+    } else {
+      out_ << cell;
+    }
+    if (i + 1 < cells.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace ccf::util

@@ -1,0 +1,50 @@
+// Plain-text table and CSV emission for the benchmark harness.
+//
+// Benches print the same rows/series the paper's figures report; TableWriter
+// produces aligned console tables and CsvWriter produces machine-readable
+// side files when requested with --csv=<path>.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccf::util {
+
+/// Builds an aligned fixed-column text table and streams it out.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fitted to content; header underlined.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Convenience cell formatting.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::size_t v);
+  static std::string fmt(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streaming CSV file writer. Quotes cells containing separators.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws InvalidArgument on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void flush();
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace ccf::util

@@ -1,0 +1,46 @@
+#include "util/work.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace ccf::util {
+
+namespace {
+std::atomic<double> g_sink{0.0};
+}
+
+double spin_work(std::uint64_t iters) {
+  double x = 1.000000001;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x = x * 1.0000001 + 1e-12;
+    if (x > 2.0) x -= 1.0;
+  }
+  // Publish so the compiler cannot prove the loop dead.
+  g_sink.store(x, std::memory_order_relaxed);
+  return x;
+}
+
+double spin_iters_per_us() {
+  static std::once_flag once;
+  static double rate = 0.0;
+  std::call_once(once, [] {
+    using clock = std::chrono::steady_clock;
+    // Warm up, then time a fixed batch.
+    spin_work(100000);
+    const std::uint64_t batch = 2000000;
+    const auto t0 = clock::now();
+    spin_work(batch);
+    const auto t1 = clock::now();
+    const double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+    rate = us > 0 ? static_cast<double>(batch) / us : 1e3;
+  });
+  return rate;
+}
+
+void spin_for_us(double us) {
+  if (us <= 0) return;
+  spin_work(static_cast<std::uint64_t>(us * spin_iters_per_us()));
+}
+
+}  // namespace ccf::util

@@ -1,0 +1,24 @@
+// Calibrated synthetic CPU work.
+//
+// Real-time mode needs "computation" whose duration is controllable in
+// microseconds without depending on sleep granularity: spin_work() runs a
+// side-effect-resistant FLOP loop; calibrate() measures the machine's loop
+// rate once so callers can convert microseconds to iterations.
+#pragma once
+
+#include <cstdint>
+
+namespace ccf::util {
+
+/// Runs `iters` iterations of a dependent floating-point chain and returns a
+/// value that must be consumed (prevents the optimizer deleting the loop).
+double spin_work(std::uint64_t iters);
+
+/// Estimated spin_work iterations per microsecond on this machine.
+/// First call calibrates (a few ms); subsequent calls are free.
+double spin_iters_per_us();
+
+/// Busy-spins for approximately `us` microseconds.
+void spin_for_us(double us);
+
+}  // namespace ccf::util

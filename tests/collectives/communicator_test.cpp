@@ -1,0 +1,256 @@
+// Collective-operations tests, parameterized over execution mode and group
+// size (including non-power-of-two sizes, which exercise the binomial-tree
+// edge cases).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <numeric>
+
+#include "collectives/communicator.hpp"
+#include "collectives/reduce_ops.hpp"
+#include "runtime/cluster.hpp"
+
+namespace ccf::collectives {
+namespace {
+
+using runtime::ClusterOptions;
+using runtime::ExecutionMode;
+using runtime::ProcessContext;
+
+struct Param {
+  ExecutionMode mode;
+  int size;
+};
+
+class CollectivesTest : public ::testing::TestWithParam<Param> {
+ protected:
+  /// Runs `body(rank, comm)` on every member of a communicator of the
+  /// parameterized size under the parameterized execution mode.
+  template <typename Body>
+  void run_group(Body&& body) {
+    ClusterOptions options;
+    options.mode = GetParam().mode;
+    auto cluster = runtime::make_cluster(options);
+    std::vector<ProcId> members(static_cast<std::size_t>(GetParam().size));
+    std::iota(members.begin(), members.end(), 0);
+    for (ProcId id : members) {
+      cluster->add_process(id, [&, id, members](ProcessContext& ctx) {
+        Communicator comm(ctx, members);
+        body(static_cast<int>(id), comm);
+      });
+    }
+    cluster->run();
+  }
+};
+
+TEST_P(CollectivesTest, BroadcastFromEveryRoot) {
+  run_group([&](int rank, Communicator& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<int> data;
+      if (rank == root) data = {root * 100, root * 100 + 1};
+      comm.broadcast(data, root);
+      ASSERT_EQ(data.size(), 2u);
+      EXPECT_EQ(data[0], root * 100);
+      EXPECT_EQ(data[1], root * 100 + 1);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, BarrierCompletes) {
+  run_group([&](int, Communicator& comm) {
+    for (int i = 0; i < 3; ++i) comm.barrier();
+  });
+  SUCCEED();
+}
+
+TEST_P(CollectivesTest, GatherConcatenatesInRankOrder) {
+  run_group([&](int rank, Communicator& comm) {
+    // Variable-length contributions: rank r sends r+1 values of r.
+    std::vector<int> local(static_cast<std::size_t>(rank + 1), rank);
+    auto all = comm.gather(local, 0);
+    if (rank == 0) {
+      std::vector<int> expect;
+      for (int r = 0; r < comm.size(); ++r) {
+        for (int i = 0; i <= r; ++i) expect.push_back(r);
+      }
+      EXPECT_EQ(all, expect);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllGather) {
+  run_group([&](int rank, Communicator& comm) {
+    std::vector<double> local{static_cast<double>(rank) * 2.0};
+    auto all = comm.all_gather(local);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)], r * 2.0);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, ScatterDistributesChunks) {
+  run_group([&](int rank, Communicator& comm) {
+    std::vector<int> all;
+    if (rank == 0) {
+      for (int r = 0; r < comm.size(); ++r) {
+        all.push_back(r * 10);
+        all.push_back(r * 10 + 1);
+      }
+    }
+    auto mine = comm.scatter(all, 2, 0);
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0], rank * 10);
+    EXPECT_EQ(mine[1], rank * 10 + 1);
+  });
+}
+
+TEST_P(CollectivesTest, ReduceSumToRoot) {
+  run_group([&](int rank, Communicator& comm) {
+    std::vector<long long> data{rank + 1, 10 * (rank + 1)};
+    comm.reduce(data, 0, Sum{});
+    if (rank == 0) {
+      const long long n = comm.size();
+      EXPECT_EQ(data[0], n * (n + 1) / 2);
+      EXPECT_EQ(data[1], 10 * n * (n + 1) / 2);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, AllReduceMinMax) {
+  run_group([&](int rank, Communicator& comm) {
+    EXPECT_EQ(comm.all_reduce_one(rank, Max{}), comm.size() - 1);
+    EXPECT_EQ(comm.all_reduce_one(rank, Min{}), 0);
+    EXPECT_EQ(comm.all_reduce_one(1, Sum{}), comm.size());
+  });
+}
+
+TEST_P(CollectivesTest, ScanIsInclusivePrefix) {
+  run_group([&](int rank, Communicator& comm) {
+    std::vector<int> data{rank + 1};
+    comm.scan(data, Sum{});
+    EXPECT_EQ(data[0], (rank + 1) * (rank + 2) / 2);
+  });
+}
+
+TEST_P(CollectivesTest, AllToAllPersonalized) {
+  run_group([&](int rank, Communicator& comm) {
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      send[static_cast<std::size_t>(r)] = {rank * 100 + r};
+    }
+    auto recv = comm.all_to_all(send);
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(r)].size(), 1u);
+      EXPECT_EQ(recv[static_cast<std::size_t>(r)][0], r * 100 + rank);
+    }
+  });
+}
+
+TEST_P(CollectivesTest, BackToBackCollectivesDoNotCrossMatch) {
+  run_group([&](int rank, Communicator& comm) {
+    // Two broadcasts in flight back-to-back with different payload sizes;
+    // sequence-tagged messages must not cross.
+    std::vector<int> big(100, rank == 0 ? 7 : 0);
+    std::vector<int> small(1, rank == 0 ? 9 : 0);
+    comm.broadcast(big, 0);
+    comm.broadcast(small, 0);
+    EXPECT_EQ(big[99], 7);
+    EXPECT_EQ(small[0], 9);
+  });
+}
+
+TEST_P(CollectivesTest, ExclusiveScan) {
+  run_group([&](int rank, Communicator& comm) {
+    std::vector<int> data{rank + 1};
+    comm.exclusive_scan(data, 0, Sum{});
+    EXPECT_EQ(data[0], rank * (rank + 1) / 2);  // sum of 1..rank
+  });
+}
+
+TEST_P(CollectivesTest, ReduceScatter) {
+  run_group([&](int rank, Communicator& comm) {
+    // Every rank contributes [1, 2, ..., 2*size]; the reduction is
+    // size * i, and rank r gets its 2-element chunk.
+    std::vector<long long> data;
+    for (int i = 1; i <= 2 * comm.size(); ++i) data.push_back(i);
+    const auto mine = comm.reduce_scatter(data, 2, Sum{});
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_EQ(mine[0], static_cast<long long>(comm.size()) * (2 * rank + 1));
+    EXPECT_EQ(mine[1], static_cast<long long>(comm.size()) * (2 * rank + 2));
+  });
+}
+
+TEST_P(CollectivesTest, SplitEvenOdd) {
+  run_group([&](int rank, Communicator& comm) {
+    Communicator sub = comm.split(rank % 2, /*key=*/rank, /*tag_color=*/1 + rank % 2);
+    const int expected_size = comm.size() / 2 + ((comm.size() % 2) && (rank % 2 == 0) ? 1 : 0);
+    EXPECT_EQ(sub.size(), expected_size);
+    EXPECT_EQ(sub.rank(), rank / 2);
+    // Sub-communicator collectives work and stay within the group.
+    const int group_sum = sub.all_reduce_one(rank, Sum{});
+    int expect = 0;
+    for (int r = rank % 2; r < comm.size(); r += 2) expect += r;
+    EXPECT_EQ(group_sum, expect);
+  });
+}
+
+TEST_P(CollectivesTest, SplitReversedKeysReverseRanks) {
+  run_group([&](int rank, Communicator& comm) {
+    // All members in one group, keys descending with rank.
+    Communicator sub = comm.split(0, /*key=*/-rank, /*tag_color=*/3);
+    EXPECT_EQ(sub.size(), comm.size());
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - rank);
+  });
+}
+
+TEST_P(CollectivesTest, PointToPointByRank) {
+  run_group([&](int rank, Communicator& comm) {
+    if (comm.size() == 1) return;
+    // Ring shift by rank.
+    const int next = (rank + 1) % comm.size();
+    const int prev = (rank + comm.size() - 1) % comm.size();
+    comm.send_to(next, 99, std::vector<int>{rank});
+    const auto got = comm.recv_from<int>(prev, 99);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], prev);
+  });
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(info.param.mode == ExecutionMode::RealThreads ? "Threads" : "Virtual") +
+         "_P" + std::to_string(info.param.size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectivesTest,
+    ::testing::Values(Param{ExecutionMode::VirtualTime, 1}, Param{ExecutionMode::VirtualTime, 2},
+                      Param{ExecutionMode::VirtualTime, 3}, Param{ExecutionMode::VirtualTime, 4},
+                      Param{ExecutionMode::VirtualTime, 7}, Param{ExecutionMode::VirtualTime, 8},
+                      Param{ExecutionMode::VirtualTime, 13},
+                      Param{ExecutionMode::RealThreads, 3},
+                      Param{ExecutionMode::RealThreads, 8}),
+    param_name);
+
+TEST(CommunicatorValidation, RejectsNonMembersAndDuplicates) {
+  runtime::ClusterOptions options;
+  options.mode = ExecutionMode::VirtualTime;
+  auto cluster = runtime::make_cluster(options);
+  cluster->add_process(0, [](ProcessContext& ctx) {
+    EXPECT_THROW(Communicator(ctx, {1, 2}), util::InvalidArgument);  // not a member
+    EXPECT_THROW(Communicator(ctx, {0, 0}), util::InvalidArgument);  // duplicate
+    EXPECT_THROW(Communicator(ctx, {}), util::InvalidArgument);      // empty
+    EXPECT_THROW(Communicator(ctx, {0}, 999), util::InvalidArgument);  // bad color
+    Communicator ok(ctx, {0});
+    EXPECT_EQ(ok.rank(), 0);
+    EXPECT_EQ(ok.size(), 1);
+    EXPECT_THROW(ok.proc_at(1), util::InvalidArgument);
+  });
+  cluster->run();
+}
+
+}  // namespace
+}  // namespace ccf::collectives

@@ -1,0 +1,98 @@
+// A scripted ProcessContext for unit-testing framework state machines
+// without a cluster: sends are recorded, receives come from a queue, the
+// clock is manual, and copies charge the modeled cost.
+#pragma once
+
+#include <deque>
+#include <cstring>
+#include <vector>
+
+#include "runtime/process_context.hpp"
+#include "util/check.hpp"
+
+namespace ccf::core::testing {
+
+class FakeContext final : public runtime::ProcessContext {
+ public:
+  explicit FakeContext(runtime::ProcId id = 0,
+                       transport::CopyCostModel cost = transport::CopyCostModel::pentium4_preset())
+      : id_(id), cost_(cost) {}
+
+  runtime::ProcId id() const override { return id_; }
+
+  void send(runtime::ProcId dst, runtime::Tag tag, runtime::Payload payload) override {
+    runtime::Message m;
+    m.src = id_;
+    m.dst = dst;
+    m.tag = tag;
+    m.payload = payload ? std::move(payload) : transport::empty_payload();
+    sent_.push_back(std::move(m));
+  }
+
+  runtime::Message recv(const runtime::MatchSpec& spec) override {
+    auto m = try_recv(spec);
+    CCF_CHECK(m.has_value(), "FakeContext::recv with empty queue");
+    return std::move(*m);
+  }
+
+  std::optional<runtime::Message> try_recv(const runtime::MatchSpec& spec) override {
+    for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
+      if (spec.matches(*it)) {
+        runtime::Message m = std::move(*it);
+        inbox_.erase(it);
+        return m;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool probe(const runtime::MatchSpec& spec) override {
+    for (const auto& m : inbox_) {
+      if (spec.matches(m)) return true;
+    }
+    return false;
+  }
+
+  std::optional<runtime::Message> recv_until(const runtime::MatchSpec& spec,
+                                             double deadline) override {
+    auto m = try_recv(spec);
+    if (!m) now_ = std::max(now_, deadline);
+    return m;
+  }
+
+  double now() const override { return now_; }
+  void compute(double seconds) override { now_ += seconds; }
+
+  void copy(void* dst, const void* src, std::size_t bytes) override {
+    std::memcpy(dst, src, bytes);
+    now_ += cost_.cost_seconds(bytes);
+  }
+
+  void charge_copy_cost(std::size_t bytes) override { now_ += cost_.cost_seconds(bytes); }
+
+  const transport::CopyCostModel& copy_cost_model() const override { return cost_; }
+
+  // --- test controls -------------------------------------------------------
+  std::vector<runtime::Message>& sent() { return sent_; }
+
+  /// All sent messages with `tag`, in send order.
+  std::vector<runtime::Message> sent_with_tag(runtime::Tag tag) const {
+    std::vector<runtime::Message> out;
+    for (const auto& m : sent_) {
+      if (m.tag == tag) out.push_back(m);
+    }
+    return out;
+  }
+
+  void push_inbox(runtime::Message m) { inbox_.push_back(std::move(m)); }
+  void set_now(double t) { now_ = t; }
+
+ private:
+  runtime::ProcId id_;
+  transport::CopyCostModel cost_;
+  double now_ = 0;
+  std::vector<runtime::Message> sent_;
+  std::deque<runtime::Message> inbox_;
+};
+
+}  // namespace ccf::core::testing

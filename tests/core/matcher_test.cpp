@@ -1,0 +1,243 @@
+// Approximate-matching tests: policies, acceptable regions, decidability,
+// PENDING semantics, pruning/clip behaviour, end-of-stream.
+#include <gtest/gtest.h>
+
+#include "core/matcher.hpp"
+#include "util/check.hpp"
+
+namespace ccf::core {
+namespace {
+
+TEST(MatchPolicyTest, ParseAndPrint) {
+  EXPECT_EQ(parse_match_policy("REGL"), MatchPolicy::REGL);
+  EXPECT_EQ(parse_match_policy("REGU"), MatchPolicy::REGU);
+  EXPECT_EQ(parse_match_policy("REG"), MatchPolicy::REG);
+  EXPECT_THROW(parse_match_policy("LOWER"), util::InvalidArgument);
+  EXPECT_EQ(to_string(MatchPolicy::REGL), "REGL");
+}
+
+TEST(MatchPolicyTest, AcceptableRegions) {
+  EXPECT_EQ(acceptable_region(MatchPolicy::REGL, 20.0, 2.5), (Interval{17.5, 20.0}));
+  EXPECT_EQ(acceptable_region(MatchPolicy::REGU, 20.0, 2.5), (Interval{20.0, 22.5}));
+  EXPECT_EQ(acceptable_region(MatchPolicy::REG, 20.0, 2.5), (Interval{17.5, 22.5}));
+  EXPECT_THROW(acceptable_region(MatchPolicy::REGL, 1.0, -0.1), util::InvalidArgument);
+}
+
+TEST(MatchPolicyTest, IntervalPredicates) {
+  const Interval r{17.5, 20.0};
+  EXPECT_TRUE(r.contains(17.5));
+  EXPECT_TRUE(r.contains(20.0));
+  EXPECT_FALSE(r.contains(20.1));
+  EXPECT_TRUE(r.below(17.4));
+  EXPECT_TRUE(r.above(20.5));
+}
+
+TEST(MatchPolicyTest, BetterMatchPrefersCloserThenLater) {
+  EXPECT_TRUE(better_match(19.6, 18.6, 20.0));
+  EXPECT_FALSE(better_match(18.6, 19.6, 20.0));
+  // Equidistant: prefer the later timestamp.
+  EXPECT_TRUE(better_match(21.0, 19.0, 20.0));
+  EXPECT_FALSE(better_match(19.0, 21.0, 20.0));
+}
+
+ExportHistory history_with(std::initializer_list<Timestamp> ts) {
+  ExportHistory h;
+  for (Timestamp t : ts) h.record(t);
+  return h;
+}
+
+TEST(Matcher, PaperFigure5Scenario) {
+  // Exports 1.6 .. 14.6; request D@20 under REGL tol 2.5 -> PENDING with
+  // latest 14.6 (paper Fig. 5 lines 5-6).
+  ExportHistory h;
+  for (int k = 1; k <= 14; ++k) h.record(0.6 + k);
+  const MatchQuery q{20.0, MatchPolicy::REGL, 2.5};
+  const MatchAnswer a = h.evaluate(q);
+  EXPECT_EQ(a.result, MatchResult::Pending);
+  EXPECT_DOUBLE_EQ(a.latest_exported, 14.6);
+
+  // Once exports reach 20.6, the match is 19.6.
+  for (int k = 15; k <= 20; ++k) h.record(0.6 + k);
+  const MatchAnswer b = h.evaluate(q);
+  EXPECT_EQ(b.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(b.matched, 19.6);
+}
+
+TEST(Matcher, ReglDecidableExactlyAtRequestTimestamp) {
+  auto h = history_with({19.0, 20.0});
+  const MatchQuery q{20.0, MatchPolicy::REGL, 2.5};
+  const MatchAnswer a = h.evaluate(q);
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 20.0);  // exact hit is the best possible
+}
+
+TEST(Matcher, ReglNoMatchWhenRegionJumpedOver) {
+  auto h = history_with({10.0, 25.0});  // nothing in [17.5, 20]
+  const MatchAnswer a = h.evaluate({20.0, MatchPolicy::REGL, 2.5});
+  EXPECT_EQ(a.result, MatchResult::NoMatch);
+}
+
+TEST(Matcher, ReguPicksSmallestAboveRequest) {
+  auto h = history_with({19.0, 20.5, 21.0, 23.0});
+  const MatchAnswer a = h.evaluate({20.0, MatchPolicy::REGU, 2.5});
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 20.5);
+}
+
+TEST(Matcher, ReguPendingUntilFirstExportAtOrAboveRequest) {
+  auto h = history_with({19.0, 19.9});
+  EXPECT_EQ(h.evaluate({20.0, MatchPolicy::REGU, 2.5}).result, MatchResult::Pending);
+  h.record(24.0);  // above the region [20, 22.5]
+  EXPECT_EQ(h.evaluate({20.0, MatchPolicy::REGU, 2.5}).result, MatchResult::NoMatch);
+}
+
+TEST(Matcher, RegPicksClosestEitherSide) {
+  auto h = history_with({18.0, 21.0, 30.0});
+  const MatchAnswer a = h.evaluate({20.0, MatchPolicy::REG, 2.5});
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 21.0);  // distance 1 beats distance 2
+}
+
+TEST(Matcher, RegBelowSideWinsWhenCloser) {
+  auto h = history_with({19.8, 22.0});
+  const MatchAnswer a = h.evaluate({20.0, MatchPolicy::REG, 2.5});
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 19.8);
+}
+
+TEST(Matcher, RegStillPendingWhileBelowRequest) {
+  // 19.9 is an excellent candidate but a future export could be at 20.0.
+  auto h = history_with({19.9});
+  EXPECT_EQ(h.evaluate({20.0, MatchPolicy::REG, 2.5}).result, MatchResult::Pending);
+}
+
+TEST(Matcher, EmptyHistoryPending) {
+  ExportHistory h;
+  const MatchAnswer a = h.evaluate({20.0, MatchPolicy::REGL, 2.5});
+  EXPECT_EQ(a.result, MatchResult::Pending);
+  EXPECT_EQ(a.latest_exported, kNeverExported);
+}
+
+TEST(Matcher, FinalizeMakesEverythingDecisive) {
+  auto h = history_with({5.0});
+  EXPECT_EQ(h.evaluate({20.0, MatchPolicy::REGL, 2.5}).result, MatchResult::Pending);
+  h.finalize();
+  EXPECT_TRUE(h.finalized());
+  EXPECT_EQ(h.evaluate({20.0, MatchPolicy::REGL, 2.5}).result, MatchResult::NoMatch);
+  EXPECT_EQ(h.evaluate({6.0, MatchPolicy::REGL, 2.5}).result, MatchResult::Match);
+  EXPECT_THROW(h.record(30.0), util::InvalidArgument);
+}
+
+TEST(Matcher, RecordRequiresStrictlyIncreasing) {
+  ExportHistory h;
+  h.record(5.0);
+  EXPECT_THROW(h.record(5.0), util::InvalidArgument);
+  EXPECT_THROW(h.record(4.0), util::InvalidArgument);
+  h.record(5.1);
+  EXPECT_DOUBLE_EQ(h.latest(), 5.1);
+}
+
+TEST(Matcher, PruneBelowRemovesCandidatesButKeepsLatest) {
+  auto h = history_with({1.0, 2.0, 3.0});
+  h.prune_below(2.5);
+  EXPECT_EQ(h.count(), 1u);  // only 3.0 left as candidate
+  EXPECT_DOUBLE_EQ(h.latest(), 3.0);
+  // Records below the clip do not become candidates but advance latest.
+  h.prune_below(10.0);
+  h.record(4.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.latest(), 4.0);
+  h.record(10.0);  // at the (inclusive) clip
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Matcher, PruneThroughIsExclusive) {
+  auto h = history_with({1.0, 2.0});
+  h.prune_through(2.0);
+  EXPECT_EQ(h.count(), 0u);
+  h.record(2.5);
+  EXPECT_EQ(h.count(), 1u);
+  // prune_through then record exactly at the clip: excluded.
+  h.prune_through(3.0);
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 0u);
+  h.record(3.1);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Matcher, DecidabilityUsesTrueLatestAfterPrune) {
+  auto h = history_with({18.0, 19.6, 21.0});
+  h.prune_through(19.6);  // 19.6 consumed; candidate list holds only 21.0
+  const MatchAnswer a = h.evaluate({20.0, MatchPolicy::REGL, 2.5});
+  // Latest (21.0) >= 20 -> decidable; the only candidate 21.0 is outside
+  // [17.5, 20], and 18/19.6 are consumed -> NO MATCH.
+  EXPECT_EQ(a.result, MatchResult::NoMatch);
+  EXPECT_DOUBLE_EQ(a.latest_exported, 21.0);
+}
+
+TEST(Matcher, BestCandidateIgnoresDecidability) {
+  auto h = history_with({18.0, 19.0});
+  const MatchQuery q{20.0, MatchPolicy::REGL, 2.5};
+  const auto best = h.best_candidate(q);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(*best, 19.0);
+  EXPECT_EQ(h.evaluate(q).result, MatchResult::Pending);
+}
+
+TEST(Matcher, ZeroToleranceIsExactMatching) {
+  auto h = history_with({19.0, 20.0, 21.0});
+  const MatchAnswer hit = h.evaluate({20.0, MatchPolicy::REGL, 0.0});
+  EXPECT_EQ(hit.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(hit.matched, 20.0);
+  const MatchAnswer miss = h.evaluate({20.5, MatchPolicy::REGL, 0.0});
+  EXPECT_EQ(miss.result, MatchResult::NoMatch);
+}
+
+TEST(MatchResultTest, ToString) {
+  EXPECT_EQ(to_string(MatchResult::Match), "MATCH");
+  EXPECT_EQ(to_string(MatchResult::NoMatch), "NO_MATCH");
+  EXPECT_EQ(to_string(MatchResult::Pending), "PENDING");
+}
+
+// Property sweep: for every policy, once the history passes the requested
+// timestamp the evaluation is decisive, and a reported match is always the
+// in-region timestamp closest to the request.
+class MatcherProperty : public ::testing::TestWithParam<MatchPolicy> {};
+
+TEST_P(MatcherProperty, DecisiveAndOptimalOncePastRequest) {
+  const MatchPolicy policy = GetParam();
+  const double tol = 3.0;
+  for (double x = 5.0; x <= 40.0; x += 2.7) {
+    ExportHistory h;
+    std::vector<Timestamp> all;
+    for (double t = 0.3; t < x + 10; t += 1.7) {
+      h.record(t);
+      all.push_back(t);
+    }
+    const MatchQuery q{x, policy, tol};
+    const MatchAnswer a = h.evaluate(q);
+    ASSERT_TRUE(a.decisive());
+    const Interval region = q.region();
+    // Reference: brute-force best.
+    std::optional<Timestamp> best;
+    for (Timestamp t : all) {
+      if (region.contains(t) && (!best || better_match(t, *best, x))) best = t;
+    }
+    if (best) {
+      ASSERT_EQ(a.result, MatchResult::Match);
+      EXPECT_DOUBLE_EQ(a.matched, *best);
+    } else {
+      EXPECT_EQ(a.result, MatchResult::NoMatch);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, MatcherProperty,
+                         ::testing::Values(MatchPolicy::REGL, MatchPolicy::REGU,
+                                           MatchPolicy::REG),
+                         [](const ::testing::TestParamInfo<MatchPolicy>& info) {
+                           return to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ccf::core

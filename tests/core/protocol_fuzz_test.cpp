@@ -1,0 +1,87 @@
+// Decode hardening: malformed payloads must raise framework exceptions
+// (bounds-checked Reader), never crash or read out of bounds. Random
+// truncations and bit flips of valid encodings, plus random byte soup.
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::core {
+namespace {
+
+using transport::Payload;
+
+std::vector<std::byte> bytes_of(const Payload& p) {
+  return std::vector<std::byte>(p->begin(), p->end());
+}
+
+Payload payload_from(std::vector<std::byte> bytes) {
+  return transport::make_payload(std::move(bytes));
+}
+
+template <typename Decode>
+void expect_no_crash(const std::vector<std::byte>& bytes, Decode&& decode) {
+  try {
+    decode(payload_from(bytes));
+  } catch (const util::Error&) {
+    // Exceptions are the contract; crashes/UB are the bug.
+  }
+}
+
+TEST(ProtocolFuzz, StrictPrefixesAlwaysThrow) {
+  // Every strict prefix of a valid encoding must throw when decoded as
+  // its own message type (underflow), and every over-long payload must be
+  // rejected by the trailing-byte check.
+  auto check_prefixes = [](const Payload& original, auto&& decode) {
+    const auto full = bytes_of(original);
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      const std::vector<std::byte> cut(full.begin(),
+                                       full.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_THROW((void)decode(payload_from(cut)), util::Error) << "len " << len;
+    }
+    auto padded = full;
+    padded.push_back(std::byte{0});
+    EXPECT_THROW((void)decode(payload_from(padded)), util::Error);
+  };
+  check_prefixes(RequestMsg{3, 17, 42.5}.encode(),
+                 [](const Payload& p) { return RequestMsg::decode(p); });
+  check_prefixes(ResponseMsg{1, 2, MatchResult::Match, 19.6, 20.6}.encode(),
+                 [](const Payload& p) { return ResponseMsg::decode(p); });
+  check_prefixes(AnswerMsg{1, 2, 20.0, MatchResult::NoMatch, 0}.encode(),
+                 [](const Payload& p) { return AnswerMsg::decode(p); });
+  check_prefixes(ConnMsg{9}.encode(), [](const Payload& p) { return ConnMsg::decode(p); });
+}
+
+TEST(ProtocolFuzz, BitFlipsNeverCrash) {
+  util::Xoshiro256 rng(123);
+  const auto full = bytes_of(ResponseMsg{1, 2, MatchResult::Match, 19.6, 20.6}.encode());
+  for (int trial = 0; trial < 500; ++trial) {
+    auto mutated = full;
+    const auto pos = static_cast<std::size_t>(rng.below(mutated.size()));
+    mutated[pos] ^= static_cast<std::byte>(1u << rng.below(8));
+    expect_no_crash(mutated, [](const Payload& p) { return ResponseMsg::decode(p); });
+  }
+}
+
+TEST(ProtocolFuzz, RandomByteSoupNeverCrashes) {
+  util::Xoshiro256 rng(321);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::byte> soup(rng.below(64));
+    for (auto& b : soup) b = static_cast<std::byte>(rng.below(256));
+    expect_no_crash(soup, [](const Payload& p) { return RequestMsg::decode(p); });
+    expect_no_crash(soup, [](const Payload& p) { return AnswerMsg::decode(p); });
+    expect_no_crash(soup, [](const Payload& p) { return ConnMsg::decode(p); });
+  }
+}
+
+TEST(ProtocolFuzz, RegionMetaHostileStringLength) {
+  // A string length prefix far beyond the payload must throw cleanly.
+  transport::Writer w;
+  w.put<std::uint64_t>(1ull << 40);  // claims a 1 TB name
+  w.put_raw("abc", 3);
+  transport::Reader r(w.take());
+  EXPECT_THROW((void)RegionMeta::decode_from(r), util::Error);
+}
+
+}  // namespace
+}  // namespace ccf::core

@@ -1,0 +1,86 @@
+// Run-report rendering tests: tables mention every program/region/metric,
+// CSV round-trips through a file.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace ccf::core {
+namespace {
+
+using dist::BlockDecomposition;
+using dist::DistArray2D;
+
+CoupledSystem run_small_system() {
+  Config config;
+  config.add_program(ProgramSpec{"E", "h", "/e", 2, {}});
+  config.add_program(ProgramSpec{"I", "h", "/i", 1, {}});
+  config.add_connection(ConnectionSpec{"E", "field", "I", "field", MatchPolicy::REGL, 0.5});
+  CoupledSystem system(config, runtime::ClusterOptions{}, FrameworkOptions{});
+  const auto e_decomp = BlockDecomposition::make_grid(8, 8, 2);
+  const auto i_decomp = BlockDecomposition::make_grid(8, 8, 1);
+  system.set_program_body("E", [e_decomp](CouplingRuntime& rt, runtime::ProcessContext&) {
+    rt.define_export_region("field", e_decomp);
+    rt.commit();
+    DistArray2D<double> data(e_decomp, rt.rank());
+    for (int k = 1; k <= 10; ++k) rt.export_region("field", k, data);
+    rt.finalize();
+  });
+  system.set_program_body("I", [i_decomp](CouplingRuntime& rt, runtime::ProcessContext&) {
+    rt.define_import_region("field", i_decomp);
+    rt.commit();
+    DistArray2D<double> data(i_decomp, rt.rank());
+    (void)rt.import_region("field", 5.0, data);
+    (void)rt.import_region("field", 9.0, data);
+    rt.finalize();
+  });
+  system.run();
+  return system;
+}
+
+TEST(RunReport, TableMentionsProgramsRegionsAndCounts) {
+  const CoupledSystem system = run_small_system();
+  std::ostringstream os;
+  print_run_report(system, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("program E"), std::string::npos);
+  EXPECT_NE(out.find("program I"), std::string::npos);
+  EXPECT_NE(out.find("field"), std::string::npos);
+  EXPECT_NE(out.find("memcpys"), std::string::npos);
+  EXPECT_NE(out.find("imports"), std::string::npos);
+  EXPECT_NE(out.find("end time"), std::string::npos);
+  // Exporter rows for both ranks.
+  EXPECT_NE(out.find("rep:"), std::string::npos);
+}
+
+TEST(RunReport, CsvHasHeaderAndOneRowPerProcRegion) {
+  const CoupledSystem system = run_small_system();
+  const std::string path = "/tmp/ccf_report_test.csv";
+  write_run_report_csv(system, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  // header + 2 exporter rows + 1 importer row.
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("program,rank,kind,region"), std::string::npos);
+  EXPECT_NE(lines[1].find("E,0,export,field"), std::string::npos);
+  EXPECT_NE(lines[3].find("I,0,import,field"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CopyCostMeasure, HostCalibrationIsPlausible) {
+  const auto model = transport::CopyCostModel::measure_host(1 << 20);
+  // Any machine copies between 100 MB/s and 1 TB/s.
+  EXPECT_GT(model.bytes_per_second(), 100e6);
+  EXPECT_LT(model.bytes_per_second(), 1e12);
+  EXPECT_GT(model.cost_seconds(1 << 20), 0.0);
+  EXPECT_THROW(transport::CopyCostModel::measure_host(16), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ccf::core

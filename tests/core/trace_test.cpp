@@ -1,0 +1,68 @@
+// Trace recorder formatting tests (the paper's Fig. 5/7/8 listing style).
+#include <gtest/gtest.h>
+
+#include "core/trace.hpp"
+
+namespace ccf::core {
+namespace {
+
+TEST(TraceTest, FormatsPaperStyleLines) {
+  Trace trace("D", true);
+  trace.emit(TraceKind::ExportCopy, 0.0, 1.6);
+  trace.emit(TraceKind::ExportSkip, 0.1, 15.6);
+  trace.emit(TraceKind::Request, 0.2, 20.0);
+  trace.emit(TraceKind::Reply, 0.2, 20.0, 14.6, MatchResult::Pending);
+  trace.emit(TraceKind::BuddyHelp, 0.3, 20.0, 19.6, MatchResult::Match);
+  trace.emit(TraceKind::Remove, 0.3, 1.6, 14.6);
+  trace.emit(TraceKind::Remove, 0.3, 16.6, 16.6);
+  trace.emit(TraceKind::SendData, 0.4, 19.6);
+  trace.emit(TraceKind::LocalDecision, 0.5, 40.0, 39.6, MatchResult::Match);
+
+  const std::string listing = trace.listing();
+  EXPECT_NE(listing.find("1  export D@1.6, call memcpy."), std::string::npos);
+  EXPECT_NE(listing.find("2  export D@15.6, skip memcpy."), std::string::npos);
+  EXPECT_NE(listing.find("3  receive request for D@20."), std::string::npos);
+  EXPECT_NE(listing.find("4  reply {D@20, PENDING, D@14.6}."), std::string::npos);
+  EXPECT_NE(listing.find("5  receive buddy-help {D@20, YES, D@19.6}."), std::string::npos);
+  EXPECT_NE(listing.find("6  remove D@1.6, ..., D@14.6."), std::string::npos);
+  EXPECT_NE(listing.find("7  remove D@16.6."), std::string::npos);
+  EXPECT_NE(listing.find("8  send D@19.6 out."), std::string::npos);
+  EXPECT_NE(listing.find("9  decide {D@40, MATCH, D@39.6}."), std::string::npos);
+}
+
+TEST(TraceTest, NoMatchHelpPrintsNo) {
+  Trace trace("D", true);
+  trace.emit(TraceKind::BuddyHelp, 0.0, 20.0, kNeverExported, MatchResult::NoMatch);
+  EXPECT_NE(trace.listing().find("{D@20, NO, "), std::string::npos);
+}
+
+TEST(TraceTest, DisabledEmitsNothing) {
+  Trace trace("D", false);
+  trace.emit(TraceKind::ExportCopy, 0.0, 1.0);
+  EXPECT_TRUE(trace.events().empty());
+  trace.set_enabled(true);
+  trace.emit(TraceKind::ExportCopy, 0.0, 1.0);
+  EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(TraceTest, BoundedByMaxEvents) {
+  Trace trace("D", true, /*max_events=*/3);
+  for (int i = 0; i < 10; ++i) trace.emit(TraceKind::ExportCopy, 0.0, i + 0.5);
+  EXPECT_EQ(trace.events().size(), 3u);
+}
+
+TEST(TraceTest, ClearResets) {
+  Trace trace("D", true);
+  trace.emit(TraceKind::ExportCopy, 0.0, 1.0);
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceTest, CustomObjectName) {
+  Trace trace("Flux", true);
+  trace.emit(TraceKind::ExportCopy, 0.0, 2.5);
+  EXPECT_NE(trace.listing().find("export Flux@2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccf::core

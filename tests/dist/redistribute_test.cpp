@@ -1,0 +1,186 @@
+// DistArray pack/unpack, schedule construction properties, and end-to-end
+// MxN redistribution over both runtimes.
+#include <gtest/gtest.h>
+
+#include "dist/dist_array.hpp"
+#include "dist/redistribute.hpp"
+#include "dist/schedule.hpp"
+#include "runtime/cluster.hpp"
+
+namespace ccf::dist {
+namespace {
+
+double cell_value(Index r, Index c) { return static_cast<double>(r) * 10000 + static_cast<double>(c); }
+
+TEST(DistArray, FillAndGlobalAccess) {
+  const auto d = BlockDecomposition::make_grid(8, 8, 4);
+  DistArray2D<double> a(d, 3);
+  a.fill(cell_value);
+  const Box b = a.local_box();
+  EXPECT_DOUBLE_EQ(a.at(b.row_begin, b.col_begin), cell_value(b.row_begin, b.col_begin));
+  EXPECT_DOUBLE_EQ(a.at(b.row_end - 1, b.col_end - 1),
+                   cell_value(b.row_end - 1, b.col_end - 1));
+}
+
+TEST(DistArray, PackUnpackRoundTrip) {
+  const auto d = BlockDecomposition::make_grid(10, 10, 1);
+  DistArray2D<double> a(d, 0);
+  a.fill(cell_value);
+  const Box sub{2, 5, 3, 9};
+  const auto packed = a.pack(sub);
+  ASSERT_EQ(packed.size(), static_cast<std::size_t>(sub.count()));
+  EXPECT_DOUBLE_EQ(packed[0], cell_value(2, 3));
+
+  DistArray2D<double> b(d, 0);
+  b.unpack(sub, packed);
+  for (Index r = sub.row_begin; r < sub.row_end; ++r) {
+    for (Index c = sub.col_begin; c < sub.col_end; ++c) {
+      EXPECT_DOUBLE_EQ(b.at(r, c), cell_value(r, c));
+    }
+  }
+}
+
+TEST(DistArray, PackOutsideLocalBoxThrows) {
+  const auto d = BlockDecomposition::make_grid(8, 8, 4);
+  DistArray2D<double> a(d, 0);  // owns [0,4)x[0,4)
+  EXPECT_THROW(a.pack(Box{0, 5, 0, 4}), util::InvalidArgument);
+  EXPECT_THROW(a.unpack(Box{0, 4, 0, 5}, std::vector<double>(20)), util::InvalidArgument);
+  EXPECT_THROW(a.unpack(Box{0, 2, 0, 2}, std::vector<double>(3)), util::InvalidArgument);
+}
+
+TEST(PackFromPacked, ExtractsSubBox) {
+  const Box buf_box{10, 14, 20, 25};  // 4x5
+  std::vector<double> buf;
+  for (Index r = buf_box.row_begin; r < buf_box.row_end; ++r) {
+    for (Index c = buf_box.col_begin; c < buf_box.col_end; ++c) buf.push_back(cell_value(r, c));
+  }
+  const Box piece{11, 13, 22, 24};
+  const auto out = pack_from_packed(buf_box, buf, piece);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], cell_value(11, 22));
+  EXPECT_DOUBLE_EQ(out[3], cell_value(12, 23));
+  EXPECT_THROW(pack_from_packed(buf_box, buf, Box{9, 13, 22, 24}), util::InvalidArgument);
+}
+
+TEST(Schedule, CoversRegionExactly) {
+  const auto src = BlockDecomposition::make_grid(64, 64, 4);
+  const auto dst = BlockDecomposition::make_grid(64, 64, 9);
+  const Box region{0, 64, 0, 64};
+  const RedistSchedule sched(src, dst, region);
+  EXPECT_EQ(sched.total_elements(), region.count());
+  // Pieces are disjoint.
+  const auto& pieces = sched.pieces();
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(overlaps(pieces[i].box, pieces[j].box));
+    }
+  }
+}
+
+TEST(Schedule, SubRegionTransfers) {
+  const auto src = BlockDecomposition::make_grid(100, 100, 4);
+  const auto dst = BlockDecomposition::make_grid(100, 100, 4);
+  const Box region{25, 75, 25, 75};
+  const RedistSchedule sched(src, dst, region);
+  EXPECT_EQ(sched.total_elements(), region.count());
+  for (const auto& p : sched.pieces()) EXPECT_TRUE(region.contains(p.box));
+}
+
+TEST(Schedule, IdenticalLayoutsYieldLocalPieces) {
+  const auto d = BlockDecomposition::make_grid(64, 64, 4);
+  const RedistSchedule sched(d, d, Box{0, 64, 0, 64});
+  EXPECT_EQ(sched.pieces().size(), 4u);
+  for (const auto& p : sched.pieces()) EXPECT_EQ(p.src_rank, p.dst_rank);
+}
+
+TEST(Schedule, SendsRecvsPartitionPieces) {
+  const auto src = BlockDecomposition::make_grid(64, 64, 4);
+  const auto dst = BlockDecomposition::make_grid(64, 64, 16);
+  const RedistSchedule sched(src, dst, Box{0, 64, 0, 64});
+  std::size_t total_sends = 0, total_recvs = 0;
+  for (int r = 0; r < 4; ++r) total_sends += sched.sends_of(r).size();
+  for (int r = 0; r < 16; ++r) total_recvs += sched.recvs_of(r).size();
+  EXPECT_EQ(total_sends, sched.pieces().size());
+  EXPECT_EQ(total_recvs, sched.pieces().size());
+}
+
+TEST(Schedule, RejectsBadRegions) {
+  const auto d = BlockDecomposition::make_grid(16, 16, 4);
+  EXPECT_THROW(RedistSchedule(d, d, Box{}), util::InvalidArgument);
+  EXPECT_THROW(RedistSchedule(d, d, Box{0, 17, 0, 16}), util::InvalidArgument);
+}
+
+struct RedistParam {
+  runtime::ExecutionMode mode;
+  int src_procs;
+  int dst_procs;
+  Index rows, cols;
+};
+
+class RedistEndToEnd : public ::testing::TestWithParam<RedistParam> {};
+
+TEST_P(RedistEndToEnd, MovesAllDataCorrectly) {
+  const auto param = GetParam();
+  const auto src_decomp = BlockDecomposition::make_grid(param.rows, param.cols, param.src_procs);
+  const auto dst_decomp = BlockDecomposition::make_grid(param.rows, param.cols, param.dst_procs);
+  const Box region{0, param.rows, 0, param.cols};
+  const RedistSchedule sched(src_decomp, dst_decomp, region);
+
+  runtime::ClusterOptions options;
+  options.mode = param.mode;
+  auto cluster = runtime::make_cluster(options);
+
+  std::vector<ProcId> src_ids, dst_ids;
+  for (int r = 0; r < param.src_procs; ++r) src_ids.push_back(r);
+  for (int r = 0; r < param.dst_procs; ++r) dst_ids.push_back(100 + r);
+
+  std::vector<int> ok(static_cast<std::size_t>(param.dst_procs), 0);
+  for (int r = 0; r < param.src_procs; ++r) {
+    cluster->add_process(src_ids[static_cast<std::size_t>(r)],
+                         [&, r](runtime::ProcessContext& ctx) {
+                           DistArray2D<double> a(src_decomp, r);
+                           a.fill(cell_value);
+                           execute_sends(ctx, sched, r, dst_ids, 77, a);
+                         });
+  }
+  for (int r = 0; r < param.dst_procs; ++r) {
+    cluster->add_process(dst_ids[static_cast<std::size_t>(r)],
+                         [&, r](runtime::ProcessContext& ctx) {
+                           DistArray2D<double> a(dst_decomp, r);
+                           execute_recvs(ctx, sched, r, src_ids, 77, a);
+                           const Box b = a.local_box();
+                           bool good = true;
+                           for (Index i = b.row_begin; i < b.row_end; ++i) {
+                             for (Index j = b.col_begin; j < b.col_end; ++j) {
+                               if (a.at(i, j) != cell_value(i, j)) good = false;
+                             }
+                           }
+                           ok[static_cast<std::size_t>(r)] = good ? 1 : 0;
+                         });
+  }
+  cluster->run();
+  for (int r = 0; r < param.dst_procs; ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "dst rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RedistEndToEnd,
+    ::testing::Values(
+        RedistParam{runtime::ExecutionMode::VirtualTime, 4, 4, 32, 32},
+        RedistParam{runtime::ExecutionMode::VirtualTime, 4, 16, 32, 32},
+        RedistParam{runtime::ExecutionMode::VirtualTime, 9, 4, 33, 31},
+        RedistParam{runtime::ExecutionMode::VirtualTime, 1, 8, 16, 64},
+        RedistParam{runtime::ExecutionMode::VirtualTime, 8, 1, 64, 16},
+        RedistParam{runtime::ExecutionMode::RealThreads, 4, 16, 32, 32},
+        RedistParam{runtime::ExecutionMode::RealThreads, 6, 3, 30, 20}),
+    [](const ::testing::TestParamInfo<RedistParam>& info) {
+      return std::string(info.param.mode == runtime::ExecutionMode::RealThreads ? "Threads"
+                                                                                : "Virtual") +
+             "_" + std::to_string(info.param.src_procs) + "to" +
+             std::to_string(info.param.dst_procs) + "_" + std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols);
+    });
+
+}  // namespace
+}  // namespace ccf::dist

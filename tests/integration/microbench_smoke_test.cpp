@@ -1,0 +1,69 @@
+// End-to-end smoke tests of the paper's micro-benchmark at reduced scale:
+// the full protocol (region exchange, requests, rep aggregation,
+// buddy-help, data redistribution, shutdown) on the virtual-time runtime.
+#include <gtest/gtest.h>
+
+#include "sim/microbench.hpp"
+
+namespace ccf::sim {
+namespace {
+
+MicrobenchParams small_params() {
+  MicrobenchParams p;
+  p.rows = 64;
+  p.cols = 64;
+  p.exporter_procs = 4;
+  p.importer_procs = 4;
+  p.num_exports = 101;
+  p.trace = true;
+  return p;
+}
+
+TEST(MicrobenchSmoke, RunsToCompletionImporterSlower) {
+  MicrobenchParams p = small_params();
+  MicrobenchResult r = run_microbench(p);
+  EXPECT_EQ(r.slow_export_seconds.size(), 101u);
+  // 1-in-20 exports matched: requests at 20, 40, 60, 80, 100 -> 5 matches.
+  EXPECT_EQ(r.importer_rank0_stats.imports, 5u);
+  EXPECT_EQ(r.importer_rank0_stats.matches, 5u);
+  EXPECT_EQ(r.importer_rank0_stats.no_matches, 0u);
+  // Matched timestamps are the latest export inside each REGL region.
+  ASSERT_EQ(r.importer_rank0_stats.matched_timestamps.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.importer_rank0_stats.matched_timestamps[0], 19.6);
+  EXPECT_DOUBLE_EQ(r.importer_rank0_stats.matched_timestamps[4], 99.6);
+  // Every exporter process transferred each matched snapshot exactly once.
+  for (const auto& stats : r.exporter_stats) {
+    EXPECT_EQ(stats.exports, 101u);
+    EXPECT_EQ(stats.transfers, 5u);
+  }
+}
+
+TEST(MicrobenchSmoke, FastImporterTriggersBuddyHelp) {
+  MicrobenchParams p = small_params();
+  p.importer_procs = 32;
+  MicrobenchResult r = run_microbench(p);
+  EXPECT_GT(r.exporter_rep.buddy_helps_sent, 0u);
+  EXPECT_GT(r.slow_stats.buddy_helps_received, 0u);
+  EXPECT_GT(r.slow_stats.buffer.skips, 0u);
+  // The trace should contain buddy-help lines for the slow process.
+  EXPECT_NE(r.slow_trace.find("buddy-help"), std::string::npos);
+  EXPECT_NE(r.slow_trace.find("skip memcpy"), std::string::npos);
+}
+
+TEST(MicrobenchSmoke, BuddyHelpDisabledStillCorrect) {
+  MicrobenchParams p = small_params();
+  p.importer_procs = 32;
+  p.buddy_help = false;
+  MicrobenchResult r = run_microbench(p);
+  EXPECT_EQ(r.exporter_rep.buddy_helps_sent, 0u);
+  EXPECT_EQ(r.slow_stats.buddy_helps_received, 0u);
+  EXPECT_EQ(r.importer_rank0_stats.matches, 5u);
+  // Without buddy-help the slow process performs at least as many copies.
+  MicrobenchParams p2 = p;
+  p2.buddy_help = true;
+  MicrobenchResult r2 = run_microbench(p2);
+  EXPECT_GE(r.slow_stats.buffer.stores, r2.slow_stats.buffer.stores);
+}
+
+}  // namespace
+}  // namespace ccf::sim

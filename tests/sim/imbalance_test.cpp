@@ -1,0 +1,105 @@
+// Load-imbalance model tests: determinism, pattern shapes, validation.
+#include <gtest/gtest.h>
+
+#include "sim/imbalance.hpp"
+
+namespace ccf::sim {
+namespace {
+
+TEST(Imbalance, ParseAndPrint) {
+  EXPECT_EQ(parse_imbalance("constant"), ImbalanceKind::Constant);
+  EXPECT_EQ(parse_imbalance("rotating"), ImbalanceKind::Rotating);
+  EXPECT_EQ(to_string(ImbalanceKind::Burst), "burst");
+  EXPECT_THROW(parse_imbalance("nope"), util::InvalidArgument);
+}
+
+TEST(Imbalance, ConstantMatchesPaperSetup) {
+  ImbalanceModel m;
+  m.kind = ImbalanceKind::Constant;
+  m.slow_factor = 2.5;
+  for (int iter = 0; iter < 10; ++iter) {
+    EXPECT_DOUBLE_EQ(m.factor(0, 4, iter), 1.0);
+    EXPECT_DOUBLE_EQ(m.factor(2, 4, iter), 1.0);
+    EXPECT_DOUBLE_EQ(m.factor(3, 4, iter), 2.5);  // default: last rank
+  }
+  m.slow_rank = 1;
+  EXPECT_DOUBLE_EQ(m.factor(1, 4, 0), 2.5);
+  EXPECT_DOUBLE_EQ(m.factor(3, 4, 0), 1.0);
+}
+
+TEST(Imbalance, JitterIsDeterministicAndBounded) {
+  ImbalanceModel m;
+  m.kind = ImbalanceKind::Jitter;
+  m.amplitude = 0.5;
+  m.seed = 7;
+  for (int rank = 0; rank < 4; ++rank) {
+    for (int iter = 0; iter < 100; ++iter) {
+      const double f = m.factor(rank, 4, iter);
+      EXPECT_GE(f, 1.0);
+      EXPECT_LT(f, 1.5);
+      EXPECT_DOUBLE_EQ(f, m.factor(rank, 4, iter));  // deterministic
+    }
+  }
+  // Different seeds give different draws.
+  ImbalanceModel m2 = m;
+  m2.seed = 8;
+  int diffs = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    if (m.factor(0, 4, iter) != m2.factor(0, 4, iter)) ++diffs;
+  }
+  EXPECT_GT(diffs, 40);
+}
+
+TEST(Imbalance, RotatingCyclesThroughRanks) {
+  ImbalanceModel m;
+  m.kind = ImbalanceKind::Rotating;
+  m.slow_factor = 3.0;
+  m.period = 10;
+  // Iterations 0-9: rank 0 slow; 10-19: rank 1; wraps at nprocs.
+  EXPECT_DOUBLE_EQ(m.factor(0, 3, 5), 3.0);
+  EXPECT_DOUBLE_EQ(m.factor(1, 3, 5), 1.0);
+  EXPECT_DOUBLE_EQ(m.factor(1, 3, 15), 3.0);
+  EXPECT_DOUBLE_EQ(m.factor(2, 3, 25), 3.0);
+  EXPECT_DOUBLE_EQ(m.factor(0, 3, 35), 3.0);  // wrapped
+}
+
+TEST(Imbalance, BurstDutyCycle) {
+  ImbalanceModel m;
+  m.kind = ImbalanceKind::Burst;
+  m.slow_factor = 2.0;
+  m.period = 10;
+  m.duty = 0.3;
+  int slow_iters = 0;
+  for (int iter = 0; iter < 100; ++iter) {
+    if (m.factor(3, 4, iter) > 1.0) ++slow_iters;
+  }
+  EXPECT_EQ(slow_iters, 30);  // 3 of every 10
+  EXPECT_DOUBLE_EQ(m.factor(0, 4, 0), 1.0);  // only the straggler bursts
+}
+
+TEST(Imbalance, SlowJitterCombines) {
+  ImbalanceModel m;
+  m.kind = ImbalanceKind::SlowJitter;
+  m.slow_factor = 2.0;
+  m.amplitude = 0.25;
+  const double f_slow = m.factor(3, 4, 0);
+  const double f_fast = m.factor(0, 4, 0);
+  EXPECT_GE(f_slow, 2.0);
+  EXPECT_LT(f_slow, 2.25);
+  EXPECT_GE(f_fast, 1.0);
+  EXPECT_LT(f_fast, 1.25);
+}
+
+TEST(Imbalance, Validation) {
+  ImbalanceModel m;
+  EXPECT_THROW(m.factor(4, 4, 0), util::InvalidArgument);
+  m.slow_factor = 0.5;
+  EXPECT_THROW(m.factor(0, 4, 0), util::InvalidArgument);
+  m.slow_factor = 2.0;
+  m.kind = ImbalanceKind::Rotating;
+  m.period = 0;
+  EXPECT_THROW(m.factor(0, 4, 0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ccf::sim

@@ -1,0 +1,145 @@
+// Wave/diffusion solver tests: halo exchange correctness (parallel result
+// equals serial result bit-for-bit), boundary handling, energy sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collectives/communicator.hpp"
+#include "collectives/reduce_ops.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/forcing.hpp"
+#include "sim/wave2d.hpp"
+
+namespace ccf::sim {
+namespace {
+
+using dist::BlockDecomposition;
+using dist::DistArray2D;
+using dist::Index;
+
+/// Runs `steps` solver steps on an nprocs-way decomposition and returns
+/// the full assembled field (gathered on the harness side).
+std::vector<double> run_parallel(Index rows, Index cols, int nprocs, int steps) {
+  const auto decomp = BlockDecomposition::make_grid(rows, cols, nprocs);
+  runtime::ClusterOptions options;
+  options.mode = runtime::ExecutionMode::VirtualTime;
+  auto cluster = runtime::make_cluster(options);
+
+  std::vector<double> assembled(static_cast<std::size_t>(rows * cols), 0.0);
+  std::vector<transport::ProcId> peers;
+  for (int r = 0; r < nprocs; ++r) peers.push_back(r);
+
+  for (int rank = 0; rank < nprocs; ++rank) {
+    cluster->add_process(rank, [&, rank](runtime::ProcessContext& ctx) {
+      WaveSolver2D solver(decomp, rank, peers, /*dt=*/0.1);
+      solver.set_initial([&](Index r, Index c) {
+        return std::sin(0.3 * static_cast<double>(r)) * std::cos(0.2 * static_cast<double>(c));
+      });
+      ForcingField forcing(decomp, rank);
+      for (int s = 0; s < steps; ++s) {
+        forcing.fill(s * 0.1);
+        solver.step(ctx, forcing.field());
+      }
+      const dist::Box box = solver.u().local_box();
+      for (Index r = box.row_begin; r < box.row_end; ++r) {
+        for (Index c = box.col_begin; c < box.col_end; ++c) {
+          assembled[static_cast<std::size_t>(r * cols + c)] = solver.u().at(r, c);
+        }
+      }
+    });
+  }
+  cluster->run();
+  return assembled;
+}
+
+TEST(WaveSolver, ParallelMatchesSerialExactly) {
+  const auto serial = run_parallel(16, 16, 1, 5);
+  for (int nprocs : {2, 4, 6}) {
+    const auto parallel = run_parallel(16, 16, nprocs, 5);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_DOUBLE_EQ(parallel[i], serial[i]) << "cell " << i << " nprocs " << nprocs;
+    }
+  }
+}
+
+TEST(WaveSolver, ZeroForcingZeroInitialStaysZero) {
+  const auto decomp = BlockDecomposition::make_grid(8, 8, 2);
+  runtime::ClusterOptions options;
+  auto cluster = runtime::make_cluster(options);
+  for (int rank = 0; rank < 2; ++rank) {
+    cluster->add_process(rank, [&, rank](runtime::ProcessContext& ctx) {
+      WaveSolver2D solver(decomp, rank, {0, 1}, 0.1);
+      DistArray2D<double> zero_forcing(decomp, rank);
+      for (int s = 0; s < 10; ++s) solver.step(ctx, zero_forcing);
+      EXPECT_EQ(solver.local_energy(), 0.0);
+      EXPECT_EQ(solver.steps_taken(), 10);
+      EXPECT_NEAR(solver.time(), 1.0, 1e-12);
+    });
+  }
+  cluster->run();
+}
+
+TEST(WaveSolver, ForcingInjectsEnergy) {
+  const auto decomp = BlockDecomposition::make_grid(12, 12, 4);
+  runtime::ClusterOptions options;
+  auto cluster = runtime::make_cluster(options);
+  std::vector<double> energies(4, 0.0);
+  for (int rank = 0; rank < 4; ++rank) {
+    cluster->add_process(rank, [&, rank](runtime::ProcessContext& ctx) {
+      collectives::Communicator comm(ctx, {0, 1, 2, 3});
+      WaveSolver2D solver(decomp, rank, {0, 1, 2, 3}, 0.05);
+      ForcingField forcing(decomp, rank);
+      for (int s = 0; s < 20; ++s) {
+        forcing.fill(s * 0.05);
+        solver.step(ctx, forcing.field());
+      }
+      energies[static_cast<std::size_t>(rank)] =
+          comm.all_reduce_one(solver.local_energy(), collectives::Sum{});
+    });
+  }
+  cluster->run();
+  EXPECT_GT(energies[0], 0.0);
+  // All ranks agree on the global energy.
+  for (int r = 1; r < 4; ++r) EXPECT_DOUBLE_EQ(energies[static_cast<std::size_t>(r)], energies[0]);
+}
+
+TEST(WaveSolver, ValidatesConstruction) {
+  const auto decomp = BlockDecomposition::make_grid(8, 8, 2);
+  EXPECT_THROW(WaveSolver2D(decomp, 0, {0}, 0.1), util::InvalidArgument);  // peer count
+  EXPECT_THROW(WaveSolver2D(decomp, 0, {0, 1}, 0.0), util::InvalidArgument);  // dt
+}
+
+TEST(Forcing, AnalyticValueIsSmoothAndBounded) {
+  for (double t = 0; t < 50; t += 3.7) {
+    for (double x = 0; x < 64; x += 13) {
+      for (double y = 0; y < 64; y += 13) {
+        const double v = ForcingField::value(t, x, y, 64, 64);
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Forcing, FillMatchesValue) {
+  const auto decomp = BlockDecomposition::make_grid(8, 8, 4);
+  ForcingField f(decomp, 2);
+  f.fill(3.0);
+  const dist::Box box = f.field().local_box();
+  EXPECT_DOUBLE_EQ(f.field().at(box.row_begin, box.col_begin),
+                   ForcingField::value(3.0, static_cast<double>(box.row_begin),
+                                       static_cast<double>(box.col_begin), 8, 8));
+}
+
+TEST(Forcing, TouchStampsTimestamp) {
+  const auto decomp = BlockDecomposition::make_grid(8, 8, 4);
+  ForcingField f(decomp, 1);
+  f.touch(7.25);
+  EXPECT_DOUBLE_EQ(f.field().data()[0], 7.25);
+  f.touch(8.25);
+  EXPECT_DOUBLE_EQ(f.field().data()[0], 8.25);
+}
+
+}  // namespace
+}  // namespace ccf::sim

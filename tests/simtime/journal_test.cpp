@@ -1,0 +1,101 @@
+// Event-journal tests: recording, bit-identical journals across runs of
+// the same workload, bounds, and the listing renderer.
+#include <gtest/gtest.h>
+
+#include "simtime/virtual_cluster.hpp"
+#include "transport/serialize.hpp"
+
+namespace ccf::simtime {
+namespace {
+
+transport::Payload payload_of(int v) {
+  transport::Writer w;
+  w.put<std::int32_t>(v);
+  return w.take();
+}
+
+VirtualCluster::Options journaling() {
+  VirtualCluster::Options opts;
+  opts.journal = true;
+  return opts;
+}
+
+void workload(VirtualCluster& cluster) {
+  for (int p = 0; p < 3; ++p) {
+    cluster.add_process(p, [p](SimContext& ctx) {
+      for (int i = 0; i < 4; ++i) {
+        ctx.advance(0.1 * (p + 1));
+        ctx.send((p + 1) % 3, 5, payload_of(p * 10 + i));
+        (void)ctx.recv(MatchSpec{(p + 2) % 3, 5});
+      }
+    });
+  }
+}
+
+TEST(Journal, DisabledByDefault) {
+  VirtualCluster cluster;
+  workload(cluster);
+  cluster.run();
+  EXPECT_TRUE(cluster.journal().empty());
+}
+
+TEST(Journal, RecordsEveryProcessedEvent) {
+  VirtualCluster cluster(journaling());
+  workload(cluster);
+  cluster.run();
+  EXPECT_EQ(cluster.journal().size(), cluster.events_processed());
+  // Delivery entries carry sender, tag, and size.
+  std::size_t deliveries = 0;
+  for (const auto& e : cluster.journal()) {
+    if (e.kind == VirtualCluster::JournalEntry::Kind::Delivery) {
+      ++deliveries;
+      EXPECT_GE(e.src, 0);
+      EXPECT_EQ(e.tag, 5);
+      EXPECT_EQ(e.bytes, sizeof(std::int32_t));
+    }
+  }
+  EXPECT_EQ(deliveries, cluster.messages_delivered());
+  // Times are non-decreasing (events processed in time order).
+  for (std::size_t i = 1; i < cluster.journal().size(); ++i) {
+    EXPECT_LE(cluster.journal()[i - 1].time, cluster.journal()[i].time);
+  }
+}
+
+TEST(Journal, IdenticalAcrossRuns) {
+  VirtualCluster a(journaling());
+  workload(a);
+  a.run();
+  VirtualCluster b(journaling());
+  workload(b);
+  b.run();
+  ASSERT_EQ(a.journal().size(), b.journal().size());
+  for (std::size_t i = 0; i < a.journal().size(); ++i) {
+    EXPECT_EQ(a.journal()[i], b.journal()[i]) << "entry " << i;
+  }
+  EXPECT_EQ(a.journal_listing(), b.journal_listing());
+}
+
+TEST(Journal, BoundedByMax) {
+  VirtualCluster::Options opts = journaling();
+  opts.journal_max = 5;
+  VirtualCluster cluster(opts);
+  workload(cluster);
+  cluster.run();
+  EXPECT_EQ(cluster.journal().size(), 5u);
+}
+
+TEST(Journal, ListingMentionsKindsAndTags) {
+  VirtualCluster cluster(journaling());
+  cluster.add_process(0, [](SimContext& ctx) {
+    ctx.send(1, 42, payload_of(1));
+    ctx.advance(1.0);
+  });
+  cluster.add_process(1, [](SimContext& ctx) { (void)ctx.recv(MatchSpec{0, 42}); });
+  cluster.run();
+  const std::string listing = cluster.journal_listing();
+  EXPECT_NE(listing.find("resume proc 0"), std::string::npos);
+  EXPECT_NE(listing.find("deliver 0 -> 1 tag 42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccf::simtime

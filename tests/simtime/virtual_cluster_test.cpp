@@ -1,0 +1,260 @@
+// Virtual-time executor tests: deterministic ordering, time semantics,
+// message latency, deadlock detection, error propagation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simtime/virtual_cluster.hpp"
+#include "transport/serialize.hpp"
+
+namespace ccf::simtime {
+using transport::kAnyProc;
+namespace {
+
+transport::Payload payload_of(int v) {
+  transport::Writer w;
+  w.put<std::int32_t>(v);
+  return w.take();
+}
+
+int value_of(const Message& m) {
+  transport::Reader r(m.payload);
+  return r.get<std::int32_t>();
+}
+
+TEST(VirtualCluster, AdvanceAccumulatesTime) {
+  VirtualCluster cluster;
+  double end = -1;
+  cluster.add_process(0, [&](SimContext& ctx) {
+    EXPECT_EQ(ctx.now(), 0.0);
+    ctx.advance(1.5);
+    EXPECT_DOUBLE_EQ(ctx.now(), 1.5);
+    ctx.advance(0.25);
+    end = ctx.now();
+  });
+  cluster.run();
+  EXPECT_DOUBLE_EQ(end, 1.75);
+  EXPECT_DOUBLE_EQ(cluster.end_time(), 1.75);
+}
+
+TEST(VirtualCluster, ProcessesInterleaveInTimeOrder) {
+  VirtualCluster cluster;
+  std::vector<int> order;
+  // Proc 0 acts at t=1,3 ; proc 1 acts at t=2,4. The scheduler must
+  // interleave them by virtual time, not by registration.
+  cluster.add_process(0, [&](SimContext& ctx) {
+    ctx.advance(1);
+    order.push_back(10);
+    ctx.advance(2);
+    order.push_back(11);
+  });
+  cluster.add_process(1, [&](SimContext& ctx) {
+    ctx.advance(2);
+    order.push_back(20);
+    ctx.advance(2);
+    order.push_back(21);
+  });
+  cluster.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 11, 21}));
+}
+
+TEST(VirtualCluster, MessageDeliveryRespectsLatency) {
+  VirtualCluster::Options opts;
+  opts.latency = std::make_shared<const transport::FixedLatency>(5.0);
+  VirtualCluster cluster(opts);
+  double recv_time = -1;
+  cluster.add_process(0, [&](SimContext& ctx) {
+    ctx.advance(1.0);
+    ctx.send(1, 7, payload_of(99));
+  });
+  cluster.add_process(1, [&](SimContext& ctx) {
+    Message m = ctx.recv(MatchSpec{0, 7});
+    recv_time = ctx.now();
+    EXPECT_EQ(value_of(m), 99);
+  });
+  cluster.run();
+  EXPECT_DOUBLE_EQ(recv_time, 6.0);  // sent at 1, latency 5
+}
+
+TEST(VirtualCluster, ReceiverAheadGetsMessageAtOwnTime) {
+  VirtualCluster cluster;  // zero latency
+  double recv_time = -1;
+  cluster.add_process(0, [&](SimContext& ctx) { ctx.send(1, 1, payload_of(1)); });
+  cluster.add_process(1, [&](SimContext& ctx) {
+    ctx.advance(10.0);  // receiver is far ahead when the message arrives
+    (void)ctx.recv(MatchSpec{0, 1});
+    recv_time = ctx.now();
+  });
+  cluster.run();
+  EXPECT_DOUBLE_EQ(recv_time, 10.0);
+}
+
+TEST(VirtualCluster, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    VirtualCluster cluster;
+    std::vector<int> log;
+    for (int p = 0; p < 4; ++p) {
+      cluster.add_process(p, [&, p](SimContext& ctx) {
+        for (int i = 0; i < 3; ++i) {
+          ctx.advance(0.1 * (p + 1));
+          ctx.send((p + 1) % 4, 5, payload_of(p * 10 + i));
+        }
+        for (int i = 0; i < 3; ++i) log.push_back(value_of(ctx.recv(MatchSpec{kAnyProc, 5})));
+      });
+    }
+    cluster.run();
+    return log;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 12u);
+}
+
+TEST(VirtualCluster, TryRecvAndProbe) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [&](SimContext& ctx) {
+    ctx.send(1, 3, payload_of(5));
+  });
+  cluster.add_process(1, [&](SimContext& ctx) {
+    EXPECT_FALSE(ctx.try_recv(MatchSpec{0, 3}).has_value());  // not delivered yet at t=0
+    ctx.advance(1.0);  // after sender ran
+    EXPECT_TRUE(ctx.probe(MatchSpec{0, 3}));
+    auto m = ctx.try_recv(MatchSpec{0, 3});
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(value_of(*m), 5);
+  });
+  cluster.run();
+}
+
+TEST(VirtualCluster, RecvUntilTimesOutAtDeadline) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [&](SimContext& ctx) {
+    auto m = ctx.recv_until(MatchSpec{kAnyProc, 9}, 3.0);
+    EXPECT_FALSE(m.has_value());
+    EXPECT_DOUBLE_EQ(ctx.now(), 3.0);  // woke exactly at the deadline
+  });
+  cluster.run();
+}
+
+TEST(VirtualCluster, RecvUntilReturnsEarlyMessage) {
+  VirtualCluster::Options opts;
+  opts.latency = std::make_shared<const transport::FixedLatency>(1.0);
+  VirtualCluster cluster(opts);
+  cluster.add_process(0, [&](SimContext& ctx) { ctx.send(1, 9, payload_of(4)); });
+  cluster.add_process(1, [&](SimContext& ctx) {
+    auto m = ctx.recv_until(MatchSpec{0, 9}, 100.0);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_DOUBLE_EQ(ctx.now(), 1.0);
+  });
+  cluster.run();
+}
+
+TEST(VirtualCluster, DeadlockDetected) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [&](SimContext& ctx) { (void)ctx.recv(MatchSpec{1, 1}); });
+  cluster.add_process(1, [&](SimContext& ctx) { (void)ctx.recv(MatchSpec{0, 1}); });
+  EXPECT_THROW(cluster.run(), DeadlockError);
+}
+
+TEST(VirtualCluster, DeadlockReportNamesBlockedProcs) {
+  VirtualCluster cluster;
+  cluster.add_process(7, [&](SimContext& ctx) { (void)ctx.recv(MatchSpec{7, 123}); });
+  try {
+    cluster.run();
+    FAIL() << "expected deadlock";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("proc 7"), std::string::npos);
+    EXPECT_NE(what.find("tag=123"), std::string::npos);
+  }
+}
+
+TEST(VirtualCluster, BodyExceptionPropagates) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [&](SimContext&) { throw std::runtime_error("boom"); });
+  cluster.add_process(1, [&](SimContext& ctx) {
+    (void)ctx.recv(MatchSpec{kAnyProc, 1});  // would deadlock; abort must free it
+  });
+  EXPECT_THROW(cluster.run(), std::runtime_error);
+}
+
+TEST(VirtualCluster, MessageToFinishedProcessIsDropped) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [&](SimContext&) {});
+  cluster.add_process(1, [&](SimContext& ctx) {
+    ctx.advance(1.0);
+    ctx.send(0, 1, payload_of(1));  // proc 0 already finished
+  });
+  cluster.run();
+  SUCCEED();
+}
+
+TEST(VirtualCluster, SendToUnknownProcessThrows) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [&](SimContext& ctx) { ctx.send(99, 1, payload_of(1)); });
+  EXPECT_THROW(cluster.run(), util::InvalidArgument);
+}
+
+TEST(VirtualCluster, ValidatesRegistration) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [](SimContext&) {});
+  EXPECT_THROW(cluster.add_process(0, [](SimContext&) {}), util::InvalidArgument);
+  EXPECT_THROW(cluster.add_process(-2, [](SimContext&) {}), util::InvalidArgument);
+  EXPECT_THROW(cluster.add_process(1, nullptr), util::InvalidArgument);
+}
+
+TEST(VirtualCluster, EmptyClusterRejected) {
+  VirtualCluster cluster;
+  EXPECT_THROW(cluster.run(), util::InvalidArgument);
+}
+
+TEST(VirtualCluster, NegativeAdvanceRejected) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [](SimContext& ctx) { ctx.advance(-1.0); });
+  EXPECT_THROW(cluster.run(), util::InvalidArgument);
+}
+
+TEST(VirtualCluster, CountsEventsAndDeliveries) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [&](SimContext& ctx) {
+    ctx.send(1, 1, payload_of(1));
+    ctx.advance(1.0);
+  });
+  cluster.add_process(1, [&](SimContext& ctx) { (void)ctx.recv(MatchSpec{0, 1}); });
+  cluster.run();
+  EXPECT_EQ(cluster.messages_delivered(), 1u);
+  EXPECT_GT(cluster.events_processed(), 2u);
+}
+
+TEST(VirtualCluster, SelfSendWorks) {
+  VirtualCluster cluster;
+  cluster.add_process(0, [&](SimContext& ctx) {
+    ctx.send(0, 1, payload_of(77));
+    ctx.advance(0.1);
+    EXPECT_EQ(value_of(ctx.recv(MatchSpec{0, 1})), 77);
+  });
+  cluster.run();
+}
+
+TEST(VirtualCluster, ManyProcessesStress) {
+  VirtualCluster cluster;
+  constexpr int kProcs = 40;
+  std::vector<int> received(kProcs, 0);
+  for (int p = 0; p < kProcs; ++p) {
+    cluster.add_process(p, [&, p](SimContext& ctx) {
+      // Ring: send to the next process, receive from the previous.
+      for (int i = 0; i < 10; ++i) {
+        ctx.send((p + 1) % kProcs, 2, payload_of(i));
+        ctx.advance(0.01);
+        (void)ctx.recv(MatchSpec{(p + kProcs - 1) % kProcs, 2});
+        received[static_cast<std::size_t>(p)]++;
+      }
+    });
+  }
+  cluster.run();
+  for (int p = 0; p < kProcs; ++p) EXPECT_EQ(received[static_cast<std::size_t>(p)], 10);
+}
+
+}  // namespace
+}  // namespace ccf::simtime

@@ -1,0 +1,236 @@
+// Transport substrate tests: serialization, mailbox matching semantics,
+// network routing, latency models.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "transport/latency.hpp"
+#include "transport/mailbox.hpp"
+#include "transport/network.hpp"
+#include "transport/serialize.hpp"
+
+namespace ccf::transport {
+namespace {
+
+TEST(Serialize, RoundTripsScalarsStringsVectors) {
+  Writer w;
+  w.put<std::int32_t>(-7);
+  w.put<double>(3.25);
+  w.put_string("hello world");
+  w.put_vector<std::uint16_t>({1, 2, 3});
+  Reader r(w.take());
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get_string(), "hello world");
+  EXPECT_EQ(r.get_vector<std::uint16_t>(), (std::vector<std::uint16_t>{1, 2, 3}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, EmptyContainers) {
+  Writer w;
+  w.put_string("");
+  w.put_vector<double>({});
+  Reader r(w.take());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.get_vector<double>().empty());
+}
+
+TEST(Serialize, UnderflowThrows) {
+  Writer w;
+  w.put<std::uint8_t>(1);
+  Reader r(w.take());
+  EXPECT_THROW(r.get<std::uint64_t>(), util::InvalidArgument);
+}
+
+TEST(Serialize, RawBytes) {
+  Writer w;
+  const char data[] = "abcd";
+  w.put_raw(data, 4);
+  Reader r(w.take());
+  char out[4];
+  r.get_raw(out, 4);
+  EXPECT_EQ(std::string(out, 4), "abcd");
+}
+
+Message make_msg(ProcId src, ProcId dst, Tag tag) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.tag = tag;
+  m.payload = empty_payload();
+  return m;
+}
+
+TEST(MailboxTest, TagMatchingSkipsNonMatching) {
+  Mailbox box;
+  box.deliver(make_msg(1, 0, 10));
+  box.deliver(make_msg(2, 0, 20));
+  // Matching tag 20 takes the second message, leaving the first queued.
+  Message m = box.receive(MatchSpec{kAnyProc, 20});
+  EXPECT_EQ(m.src, 2);
+  EXPECT_EQ(box.pending(), 1u);
+  m = box.receive(MatchSpec{kAnyProc, kAnyTag});
+  EXPECT_EQ(m.src, 1);
+}
+
+TEST(MailboxTest, SourceMatching) {
+  Mailbox box;
+  box.deliver(make_msg(5, 0, 1));
+  box.deliver(make_msg(6, 0, 1));
+  Message m = box.receive(MatchSpec{6, 1});
+  EXPECT_EQ(m.src, 6);
+}
+
+TEST(MailboxTest, FifoAmongMatching) {
+  Mailbox box;
+  for (int i = 0; i < 5; ++i) {
+    Message m = make_msg(1, 0, 7);
+    m.seq = static_cast<std::uint64_t>(i);
+    box.deliver(std::move(m));
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(box.receive(MatchSpec{1, 7}).seq, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(MailboxTest, TryReceiveAndProbe) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_receive(MatchSpec{}).has_value());
+  EXPECT_FALSE(box.probe(MatchSpec{}));
+  box.deliver(make_msg(1, 0, 3));
+  EXPECT_TRUE(box.probe(MatchSpec{1, 3}));
+  EXPECT_FALSE(box.probe(MatchSpec{1, 4}));
+  EXPECT_TRUE(box.try_receive(MatchSpec{1, 3}).has_value());
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(MailboxTest, BlockingReceiveWakesOnDeliver) {
+  Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.deliver(make_msg(9, 0, 42));
+  });
+  Message m = box.receive(MatchSpec{9, 42});
+  EXPECT_EQ(m.tag, 42);
+  producer.join();
+}
+
+TEST(MailboxTest, CloseWakesBlockedReceiver) {
+  Mailbox box;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.close();
+  });
+  EXPECT_THROW(box.receive(MatchSpec{}), MailboxClosed);
+  closer.join();
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(MailboxTest, DeliverAfterCloseIsDropped) {
+  Mailbox box;
+  box.close();
+  box.deliver(make_msg(1, 0, 1));
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(MailboxTest, ReceiveUntilTimesOut) {
+  Mailbox box;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  EXPECT_FALSE(box.receive_until(MatchSpec{}, deadline).has_value());
+}
+
+TEST(MailboxTest, ReceiveUntilGetsMessage) {
+  Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.deliver(make_msg(1, 0, 5));
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  auto m = box.receive_until(MatchSpec{1, 5}, deadline);
+  ASSERT_TRUE(m.has_value());
+  producer.join();
+}
+
+TEST(NetworkTest, RoutesByDestination) {
+  Network net;
+  auto box1 = net.register_process(1);
+  auto box2 = net.register_process(2);
+  net.send(make_msg(1, 2, 0));
+  EXPECT_EQ(box2->pending(), 1u);
+  EXPECT_EQ(box1->pending(), 0u);
+}
+
+TEST(NetworkTest, SequencesPerSender) {
+  Network net;
+  net.register_process(1);
+  auto box = net.register_process(2);
+  net.send(make_msg(1, 2, 0));
+  net.send(make_msg(1, 2, 0));
+  EXPECT_EQ(box->receive(MatchSpec{}).seq, 0u);
+  EXPECT_EQ(box->receive(MatchSpec{}).seq, 1u);
+}
+
+TEST(NetworkTest, RejectsDuplicateAndUnknownIds) {
+  Network net;
+  net.register_process(3);
+  EXPECT_THROW(net.register_process(3), util::InvalidArgument);
+  EXPECT_THROW(net.register_process(-1), util::InvalidArgument);
+  EXPECT_THROW(net.send(make_msg(3, 99, 0)), util::InvalidArgument);
+  EXPECT_THROW(net.mailbox(99), util::InvalidArgument);
+  EXPECT_TRUE(net.has_process(3));
+  EXPECT_FALSE(net.has_process(4));
+}
+
+TEST(NetworkTest, StatsCountMessagesAndBytes) {
+  Network net;
+  net.register_process(1);
+  net.register_process(2);
+  Message m = make_msg(1, 2, 0);
+  std::vector<std::byte> bytes(100);
+  m.payload = make_payload(std::move(bytes));
+  net.send(std::move(m));
+  EXPECT_EQ(net.stats().messages_sent, 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 100u);
+}
+
+TEST(NetworkTest, ShutdownClosesAllMailboxes) {
+  Network net;
+  auto box = net.register_process(1);
+  net.shutdown();
+  EXPECT_TRUE(box->closed());
+}
+
+TEST(LatencyModels, ZeroAndFixed) {
+  ZeroLatency zero;
+  EXPECT_EQ(zero.delay_seconds(1 << 20), 0.0);
+  FixedLatency fixed(1e-3);
+  EXPECT_DOUBLE_EQ(fixed.delay_seconds(0), 1e-3);
+  EXPECT_DOUBLE_EQ(fixed.delay_seconds(1 << 20), 1e-3);
+  EXPECT_THROW(FixedLatency(-1), util::InvalidArgument);
+}
+
+TEST(LatencyModels, BandwidthScalesWithSize) {
+  BandwidthLatency model(50e-6, 100e6);
+  EXPECT_DOUBLE_EQ(model.delay_seconds(0), 50e-6);
+  EXPECT_NEAR(model.delay_seconds(100'000'000), 1.0 + 50e-6, 1e-9);
+  EXPECT_GT(model.delay_seconds(2000), model.delay_seconds(1000));
+}
+
+TEST(LatencyModels, GigePresetIsSane) {
+  auto gige = gige_model();
+  // 1 MB at ~110 MB/s: around 9-10 ms.
+  const double d = gige->delay_seconds(1 << 20);
+  EXPECT_GT(d, 5e-3);
+  EXPECT_LT(d, 20e-3);
+}
+
+TEST(CopyCost, ScalesWithBytes) {
+  const CopyCostModel& model = CopyCostModel::pentium4_preset();
+  EXPECT_GT(model.cost_seconds(1), 0.0);
+  EXPECT_GT(model.cost_seconds(1 << 21), model.cost_seconds(1 << 10));
+  // 2 MB at 1.5 GB/s ~ 1.4 ms.
+  EXPECT_NEAR(model.cost_seconds(2 * 1024 * 1024), 1.4e-3, 0.5e-3);
+}
+
+}  // namespace
+}  // namespace ccf::transport

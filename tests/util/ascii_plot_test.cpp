@@ -1,0 +1,96 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ccf::util {
+namespace {
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 0;
+  for (char c : s) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+TEST(AsciiPlot, EmptySeriesRendersPlaceholder) {
+  const std::string out = ascii_plot({});
+  EXPECT_NE(out.find("empty series"), std::string::npos);
+}
+
+TEST(AsciiPlot, FrameGeometry) {
+  AsciiPlotOptions options;
+  options.width = 40;
+  options.height = 10;
+  options.y_label = "ms";
+  options.x_label = "iter";
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(i);
+  const std::string out = ascii_plot(series, options);
+  // y label + height rows + axis + x label.
+  EXPECT_EQ(count_lines(out), 1u + 10u + 1u + 1u);
+  EXPECT_NE(out.find("ms"), std::string::npos);
+  EXPECT_NE(out.find("iter"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, MonotoneSeriesPutsExtremesAtCorners) {
+  AsciiPlotOptions options;
+  options.width = 20;
+  options.height = 5;
+  std::vector<double> rising{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::string out = ascii_plot(rising, options);
+  std::vector<std::string> lines;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  // Top data row contains the max marker near the right edge; bottom data
+  // row has the min near the left edge.
+  const std::string& top = lines[0];
+  const std::string& bottom = lines[4];
+  EXPECT_GT(top.rfind('*'), bottom.find('*'));
+}
+
+TEST(AsciiPlot, ConstantSeriesSitsOnBaselineWithFixedMin) {
+  AsciiPlotOptions options;
+  options.width = 10;
+  options.height = 4;
+  options.y_auto_min = false;  // lower bound 0
+  const std::string out = ascii_plot({5, 5, 5, 5}, options);
+  // All markers on the top row (value == max) and none below.
+  std::istringstream in(out);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, ResamplesLongSeries) {
+  AsciiPlotOptions options;
+  options.width = 8;
+  options.height = 4;
+  std::vector<double> series(10000, 1.0);
+  const std::string out = ascii_plot(series, options);
+  // No line longer than axis + width + slack.
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) EXPECT_LE(line.size(), 8u + 12u);
+}
+
+TEST(AsciiPlot, OverlayMarksBothSeries) {
+  AsciiPlotOptions options;
+  options.width = 16;
+  options.height = 6;
+  std::vector<double> a{1, 1, 1, 1};
+  std::vector<double> b{3, 3, 3, 3};
+  const std::string out = ascii_plot2(a, b, options);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  // Identical series collide into '#'.
+  const std::string both = ascii_plot2(a, a, options);
+  EXPECT_NE(both.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccf::util
