@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_matchratio"
+  "../bench/bench_ablation_matchratio.pdb"
+  "CMakeFiles/bench_ablation_matchratio.dir/bench_ablation_matchratio.cpp.o"
+  "CMakeFiles/bench_ablation_matchratio.dir/bench_ablation_matchratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_matchratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

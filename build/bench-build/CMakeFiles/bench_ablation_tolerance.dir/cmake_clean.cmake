@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tolerance"
+  "../bench/bench_ablation_tolerance.pdb"
+  "CMakeFiles/bench_ablation_tolerance.dir/bench_ablation_tolerance.cpp.o"
+  "CMakeFiles/bench_ablation_tolerance.dir/bench_ablation_tolerance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

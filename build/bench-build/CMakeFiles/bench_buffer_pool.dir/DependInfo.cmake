@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_buffer_pool.cpp" "bench-build/CMakeFiles/bench_buffer_pool.dir/bench_buffer_pool.cpp.o" "gcc" "bench-build/CMakeFiles/bench_buffer_pool.dir/bench_buffer_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ccf_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/ccf_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ccf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/ccf_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

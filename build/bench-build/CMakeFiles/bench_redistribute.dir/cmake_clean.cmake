@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_redistribute"
+  "../bench/bench_redistribute.pdb"
+  "CMakeFiles/bench_redistribute.dir/bench_redistribute.cpp.o"
+  "CMakeFiles/bench_redistribute.dir/bench_redistribute.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redistribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_transport"
+  "../bench/bench_transport.pdb"
+  "CMakeFiles/bench_transport.dir/bench_transport.cpp.o"
+  "CMakeFiles/bench_transport.dir/bench_transport.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

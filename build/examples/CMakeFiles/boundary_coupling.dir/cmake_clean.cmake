@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boundary_coupling.dir/boundary_coupling.cpp.o"
+  "CMakeFiles/boundary_coupling.dir/boundary_coupling.cpp.o.d"
+  "boundary_coupling"
+  "boundary_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boundary_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

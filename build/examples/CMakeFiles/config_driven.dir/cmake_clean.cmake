@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_driven.dir/config_driven.cpp.o"
+  "CMakeFiles/config_driven.dir/config_driven.cpp.o.d"
+  "config_driven"
+  "config_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupled_diffusion.dir/coupled_diffusion.cpp.o"
+  "CMakeFiles/coupled_diffusion.dir/coupled_diffusion.cpp.o.d"
+  "coupled_diffusion"
+  "coupled_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupled_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiscale_coupling.dir/multiscale_coupling.cpp.o"
+  "CMakeFiles/multiscale_coupling.dir/multiscale_coupling.cpp.o.d"
+  "multiscale_coupling"
+  "multiscale_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiscale_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservoir_analysis.dir/reservoir_analysis.cpp.o"
+  "CMakeFiles/reservoir_analysis.dir/reservoir_analysis.cpp.o.d"
+  "reservoir_analysis"
+  "reservoir_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservoir_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

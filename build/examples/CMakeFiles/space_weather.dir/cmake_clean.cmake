@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_weather.dir/space_weather.cpp.o"
+  "CMakeFiles/space_weather.dir/space_weather.cpp.o.d"
+  "space_weather"
+  "space_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

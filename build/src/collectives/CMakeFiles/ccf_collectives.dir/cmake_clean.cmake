@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_collectives.dir/communicator.cpp.o"
+  "CMakeFiles/ccf_collectives.dir/communicator.cpp.o.d"
+  "libccf_collectives.a"
+  "libccf_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer_pool.cpp" "src/core/CMakeFiles/ccf_core.dir/buffer_pool.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/buffer_pool.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/ccf_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/coupling_runtime.cpp" "src/core/CMakeFiles/ccf_core.dir/coupling_runtime.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/coupling_runtime.cpp.o.d"
+  "/root/repo/src/core/export_state.cpp" "src/core/CMakeFiles/ccf_core.dir/export_state.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/export_state.cpp.o.d"
+  "/root/repo/src/core/layout.cpp" "src/core/CMakeFiles/ccf_core.dir/layout.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/layout.cpp.o.d"
+  "/root/repo/src/core/match_policy.cpp" "src/core/CMakeFiles/ccf_core.dir/match_policy.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/match_policy.cpp.o.d"
+  "/root/repo/src/core/matcher.cpp" "src/core/CMakeFiles/ccf_core.dir/matcher.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/matcher.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/ccf_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/rep.cpp" "src/core/CMakeFiles/ccf_core.dir/rep.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/rep.cpp.o.d"
+  "/root/repo/src/core/rep_state.cpp" "src/core/CMakeFiles/ccf_core.dir/rep_state.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/rep_state.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ccf_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/ccf_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/ccf_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/ccf_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/ccf_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/ccf_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ccf_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/ccf_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_core.dir/buffer_pool.cpp.o"
+  "CMakeFiles/ccf_core.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/config.cpp.o"
+  "CMakeFiles/ccf_core.dir/config.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/coupling_runtime.cpp.o"
+  "CMakeFiles/ccf_core.dir/coupling_runtime.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/export_state.cpp.o"
+  "CMakeFiles/ccf_core.dir/export_state.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/layout.cpp.o"
+  "CMakeFiles/ccf_core.dir/layout.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/match_policy.cpp.o"
+  "CMakeFiles/ccf_core.dir/match_policy.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/matcher.cpp.o"
+  "CMakeFiles/ccf_core.dir/matcher.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/protocol.cpp.o"
+  "CMakeFiles/ccf_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/rep.cpp.o"
+  "CMakeFiles/ccf_core.dir/rep.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/rep_state.cpp.o"
+  "CMakeFiles/ccf_core.dir/rep_state.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/report.cpp.o"
+  "CMakeFiles/ccf_core.dir/report.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/system.cpp.o"
+  "CMakeFiles/ccf_core.dir/system.cpp.o.d"
+  "CMakeFiles/ccf_core.dir/trace.cpp.o"
+  "CMakeFiles/ccf_core.dir/trace.cpp.o.d"
+  "libccf_core.a"
+  "libccf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

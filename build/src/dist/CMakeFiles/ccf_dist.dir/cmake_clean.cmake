@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_dist.dir/decomposition.cpp.o"
+  "CMakeFiles/ccf_dist.dir/decomposition.cpp.o.d"
+  "CMakeFiles/ccf_dist.dir/schedule.cpp.o"
+  "CMakeFiles/ccf_dist.dir/schedule.cpp.o.d"
+  "libccf_dist.a"
+  "libccf_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/ccf_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/ccf_runtime.dir/thread_cluster.cpp.o"
+  "CMakeFiles/ccf_runtime.dir/thread_cluster.cpp.o.d"
+  "CMakeFiles/ccf_runtime.dir/virtual_time_cluster.cpp.o"
+  "CMakeFiles/ccf_runtime.dir/virtual_time_cluster.cpp.o.d"
+  "libccf_runtime.a"
+  "libccf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

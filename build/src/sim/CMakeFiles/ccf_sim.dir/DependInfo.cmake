@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/forcing.cpp" "src/sim/CMakeFiles/ccf_sim.dir/forcing.cpp.o" "gcc" "src/sim/CMakeFiles/ccf_sim.dir/forcing.cpp.o.d"
+  "/root/repo/src/sim/heat2d.cpp" "src/sim/CMakeFiles/ccf_sim.dir/heat2d.cpp.o" "gcc" "src/sim/CMakeFiles/ccf_sim.dir/heat2d.cpp.o.d"
+  "/root/repo/src/sim/imbalance.cpp" "src/sim/CMakeFiles/ccf_sim.dir/imbalance.cpp.o" "gcc" "src/sim/CMakeFiles/ccf_sim.dir/imbalance.cpp.o.d"
+  "/root/repo/src/sim/microbench.cpp" "src/sim/CMakeFiles/ccf_sim.dir/microbench.cpp.o" "gcc" "src/sim/CMakeFiles/ccf_sim.dir/microbench.cpp.o.d"
+  "/root/repo/src/sim/wave2d.cpp" "src/sim/CMakeFiles/ccf_sim.dir/wave2d.cpp.o" "gcc" "src/sim/CMakeFiles/ccf_sim.dir/wave2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/ccf_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/ccf_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simtime/CMakeFiles/ccf_simtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ccf_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

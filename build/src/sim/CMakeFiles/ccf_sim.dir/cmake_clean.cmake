@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_sim.dir/forcing.cpp.o"
+  "CMakeFiles/ccf_sim.dir/forcing.cpp.o.d"
+  "CMakeFiles/ccf_sim.dir/heat2d.cpp.o"
+  "CMakeFiles/ccf_sim.dir/heat2d.cpp.o.d"
+  "CMakeFiles/ccf_sim.dir/imbalance.cpp.o"
+  "CMakeFiles/ccf_sim.dir/imbalance.cpp.o.d"
+  "CMakeFiles/ccf_sim.dir/microbench.cpp.o"
+  "CMakeFiles/ccf_sim.dir/microbench.cpp.o.d"
+  "CMakeFiles/ccf_sim.dir/wave2d.cpp.o"
+  "CMakeFiles/ccf_sim.dir/wave2d.cpp.o.d"
+  "libccf_sim.a"
+  "libccf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_simtime.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/ccf_simtime.dir/virtual_cluster.cpp.o.d"
+  "libccf_simtime.a"
+  "libccf_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

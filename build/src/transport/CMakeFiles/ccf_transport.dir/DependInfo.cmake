@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/latency.cpp" "src/transport/CMakeFiles/ccf_transport.dir/latency.cpp.o" "gcc" "src/transport/CMakeFiles/ccf_transport.dir/latency.cpp.o.d"
+  "/root/repo/src/transport/mailbox.cpp" "src/transport/CMakeFiles/ccf_transport.dir/mailbox.cpp.o" "gcc" "src/transport/CMakeFiles/ccf_transport.dir/mailbox.cpp.o.d"
+  "/root/repo/src/transport/network.cpp" "src/transport/CMakeFiles/ccf_transport.dir/network.cpp.o" "gcc" "src/transport/CMakeFiles/ccf_transport.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_transport.dir/latency.cpp.o"
+  "CMakeFiles/ccf_transport.dir/latency.cpp.o.d"
+  "CMakeFiles/ccf_transport.dir/mailbox.cpp.o"
+  "CMakeFiles/ccf_transport.dir/mailbox.cpp.o.d"
+  "CMakeFiles/ccf_transport.dir/network.cpp.o"
+  "CMakeFiles/ccf_transport.dir/network.cpp.o.d"
+  "libccf_transport.a"
+  "libccf_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccf_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/ccf_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/ccf_util.dir/cli.cpp.o"
+  "CMakeFiles/ccf_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ccf_util.dir/log.cpp.o"
+  "CMakeFiles/ccf_util.dir/log.cpp.o.d"
+  "CMakeFiles/ccf_util.dir/stats.cpp.o"
+  "CMakeFiles/ccf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ccf_util.dir/table.cpp.o"
+  "CMakeFiles/ccf_util.dir/table.cpp.o.d"
+  "CMakeFiles/ccf_util.dir/work.cpp.o"
+  "CMakeFiles/ccf_util.dir/work.cpp.o.d"
+  "libccf_util.a"
+  "libccf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/communicator_test.dir/communicator_test.cpp.o"
+  "CMakeFiles/communicator_test.dir/communicator_test.cpp.o.d"
+  "communicator_test"
+  "communicator_test.pdb"
+  "communicator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/communicator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_import_test.dir/async_import_test.cpp.o"
+  "CMakeFiles/async_import_test.dir/async_import_test.cpp.o.d"
+  "async_import_test"
+  "async_import_test.pdb"
+  "async_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_state_test.dir/export_state_test.cpp.o"
+  "CMakeFiles/export_state_test.dir/export_state_test.cpp.o.d"
+  "export_state_test"
+  "export_state_test.pdb"
+  "export_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_buffer_test.dir/finite_buffer_test.cpp.o"
+  "CMakeFiles/finite_buffer_test.dir/finite_buffer_test.cpp.o.d"
+  "finite_buffer_test"
+  "finite_buffer_test.pdb"
+  "finite_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/matcher_test[1]_include.cmake")
+include("/root/repo/build/tests/core/buffer_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/core/rep_state_test[1]_include.cmake")
+include("/root/repo/build/tests/core/config_test[1]_include.cmake")
+include("/root/repo/build/tests/core/export_state_test[1]_include.cmake")
+include("/root/repo/build/tests/core/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/core/system_test[1]_include.cmake")
+include("/root/repo/build/tests/core/async_import_test[1]_include.cmake")
+include("/root/repo/build/tests/core/finite_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/core/golden_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/core/window_test[1]_include.cmake")
+include("/root/repo/build/tests/core/rep_test[1]_include.cmake")
+include("/root/repo/build/tests/core/protocol_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/core/report_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidirectional_test.dir/bidirectional_test.cpp.o"
+  "CMakeFiles/bidirectional_test.dir/bidirectional_test.cpp.o.d"
+  "bidirectional_test"
+  "bidirectional_test.pdb"
+  "bidirectional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidirectional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

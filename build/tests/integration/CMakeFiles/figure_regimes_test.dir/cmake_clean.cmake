@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_regimes_test.dir/figure_regimes_test.cpp.o"
+  "CMakeFiles/figure_regimes_test.dir/figure_regimes_test.cpp.o.d"
+  "figure_regimes_test"
+  "figure_regimes_test.pdb"
+  "figure_regimes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_regimes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

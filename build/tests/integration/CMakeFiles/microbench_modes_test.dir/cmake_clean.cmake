@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_modes_test.dir/microbench_modes_test.cpp.o"
+  "CMakeFiles/microbench_modes_test.dir/microbench_modes_test.cpp.o.d"
+  "microbench_modes_test"
+  "microbench_modes_test.pdb"
+  "microbench_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

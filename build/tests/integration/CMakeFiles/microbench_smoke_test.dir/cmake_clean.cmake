@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_smoke_test.dir/microbench_smoke_test.cpp.o"
+  "CMakeFiles/microbench_smoke_test.dir/microbench_smoke_test.cpp.o.d"
+  "microbench_smoke_test"
+  "microbench_smoke_test.pdb"
+  "microbench_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

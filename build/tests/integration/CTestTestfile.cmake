@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/microbench_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/figure_regimes_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/bidirectional_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/microbench_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/violation_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat2d_test.dir/heat2d_test.cpp.o"
+  "CMakeFiles/heat2d_test.dir/heat2d_test.cpp.o.d"
+  "heat2d_test"
+  "heat2d_test.pdb"
+  "heat2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imbalance_test.dir/imbalance_test.cpp.o"
+  "CMakeFiles/imbalance_test.dir/imbalance_test.cpp.o.d"
+  "imbalance_test"
+  "imbalance_test.pdb"
+  "imbalance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imbalance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/simtime
+# Build directory: /root/repo/build/tests/simtime
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simtime/virtual_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/simtime/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/simtime/journal_test[1]_include.cmake")

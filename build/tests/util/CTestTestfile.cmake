@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/util/ascii_plot_test[1]_include.cmake")
