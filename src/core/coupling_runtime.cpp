@@ -62,6 +62,7 @@ void CouplingRuntime::commit() {
   // Rank 0 ships the program's region definitions to the rep, which
   // validates them against the configuration and swaps geometry with the
   // connected programs' reps.
+  transport::Payload defs_payload;
   if (rank_ == 0) {
     Writer w;
     w.put<std::uint32_t>(static_cast<std::uint32_t>(export_regions_.size()));
@@ -76,13 +77,41 @@ void CouplingRuntime::commit() {
                       region.decomp.proc_rows(), region.decomp.proc_cols()};
       meta.encode_into(w);
     }
-    ctx_.send(rep_, kTagRegionDefs, w.take());
+    defs_payload = w.take();
+    ctx_.send(rep_, kTagRegionDefs, defs_payload);
   }
 
   // Every process receives the peer-geometry broadcast:
   //   u32 n; n x { u32 conn, RegionMeta peer } (export conns then import
   //   conns of this program, any order — keyed by conn id).
-  Message m = ctx_.recv(MatchSpec{rep_, kTagRegionMetaBcast});
+  Message m;
+  if (!options_.failure_tolerance()) {
+    m = ctx_.recv(MatchSpec{rep_, kTagRegionMetaBcast});
+  } else {
+    // The definitions, the rep-to-rep geometry shipment, or the broadcast
+    // itself may have been lost: time out, re-send what we own, and nudge
+    // the rep to replay the broadcast. Timeouts are staggered by rank.
+    double timeout = options_.retry_timeout_seconds * (1.0 + 0.1 * rank_);
+    int retries = 0;
+    for (;;) {
+      auto maybe = ctx_.recv_until(MatchSpec{rep_, kTagRegionMetaBcast}, ctx_.now() + timeout);
+      if (maybe) {
+        m = std::move(*maybe);
+        break;
+      }
+      if (++retries > options_.max_retries) {
+        throw util::TimeoutError("commit(): no region-geometry broadcast after " +
+                                 std::to_string(retries - 1) + " retries at process " +
+                                 std::to_string(ctx_.id()));
+      }
+      ++ft_.commit_retries;
+      if (rank_ == 0) ctx_.send(rep_, kTagRegionDefs, defs_payload);
+      ctx_.send(rep_, kTagMetaNudge, transport::empty_payload());
+      timeout = std::min(timeout * options_.retry_backoff_factor,
+                         options_.backoff_cap_seconds());
+    }
+  }
+  last_rep_seen_ = ctx_.now();
   Reader r(m.payload);
   std::map<std::uint32_t, RegionMeta> peer_meta;
   const auto n = r.get<std::uint32_t>();
@@ -151,23 +180,73 @@ void CouplingRuntime::commit() {
   }
 }
 
-AnswerMsg CouplingRuntime::await_answer(int conn_id) {
-  // Check answers parked by earlier waits on other connections.
-  auto stash = stashed_answers_.find(conn_id);
-  if (stash != stashed_answers_.end() && !stash->second.empty()) {
-    AnswerMsg answer = stash->second.front();
-    stash->second.pop_front();
-    return answer;
+void CouplingRuntime::stash_answer(const AnswerMsg& answer) {
+  const int conn_id = static_cast<int>(answer.conn);
+  for (const auto& [name, region] : import_regions_) {
+    if (region.conn_id != conn_id) continue;
+    if (answer.seq < region.next_wait_seq) {
+      // Answer to a request already completed: a fabric duplicate or the
+      // answer to a retry whose original got through after all.
+      ++ft_.stale_answers;
+      return;
+    }
+    break;
   }
+  auto [it, fresh] = stashed_answers_[conn_id].emplace(answer.seq, answer);
+  (void)it;
+  if (!fresh) ++ft_.stale_answers;
+}
+
+AnswerMsg CouplingRuntime::await_answer(ImportRegion& region, std::uint32_t seq,
+                                        Timestamp requested) {
+  const int conn_id = region.conn_id;
+  auto consume_stashed = [&]() -> std::optional<AnswerMsg> {
+    auto stash = stashed_answers_.find(conn_id);
+    if (stash == stashed_answers_.end()) return std::nullopt;
+    auto hit = stash->second.find(seq);
+    if (hit == stash->second.end()) return std::nullopt;
+    AnswerMsg answer = hit->second;
+    stash->second.erase(hit);
+    return answer;
+  };
+  if (auto stashed = consume_stashed()) return *stashed;
+
   // While blocked on our own import we keep serving framework traffic —
   // in bidirectional couplings the peer's request may need this very
   // process's response before the peer can produce the data we wait for.
+  const bool tolerant = options_.failure_tolerance();
+  double timeout = options_.retry_timeout_seconds * (1.0 + 0.1 * rank_);
+  int retries = 0;
   for (;;) {
-    Message m = ctx_.recv(MatchSpec{rep_, transport::kAnyTag});
-    if (m.tag == import_answer_tag(conn_id)) return AnswerMsg::decode(m.payload);
+    std::optional<Message> maybe;
+    if (!tolerant) {
+      maybe = ctx_.recv(MatchSpec{rep_, kAnyTag});
+    } else {
+      maybe = ctx_.recv_until(MatchSpec{rep_, kAnyTag}, ctx_.now() + timeout);
+      if (!maybe) {
+        // The request, a rep relay, or the answer broadcast was lost (or
+        // the exporter is just slow). Re-sending is idempotent end to end:
+        // reps and workers replay cached answers, so every rank may retry
+        // — which also covers the loss of rank 0's original request.
+        if (++retries > options_.max_retries) {
+          throw util::TimeoutError("import on connection " + std::to_string(conn_id) +
+                                   " seq " + std::to_string(seq) + ": no answer after " +
+                                   std::to_string(retries - 1) + " retries at process " +
+                                   std::to_string(ctx_.id()));
+        }
+        ++ft_.request_retries;
+        RequestMsg req{static_cast<std::uint32_t>(conn_id), seq, requested};
+        ctx_.send(rep_, kTagImportRequest, req.encode());
+        timeout = std::min(timeout * options_.retry_backoff_factor,
+                           options_.backoff_cap_seconds());
+        continue;
+      }
+    }
+    const Message& m = *maybe;
+    last_rep_seen_ = ctx_.now();
     if (m.tag >= kTagImportAnswerBase && m.tag < kTagDataBase) {
-      const AnswerMsg other = AnswerMsg::decode(m.payload);
-      stashed_answers_[static_cast<int>(other.conn)].push_back(other);
+      stash_answer(AnswerMsg::decode(m.payload));
+      if (auto stashed = consume_stashed()) return *stashed;
       continue;
     }
     if (m.tag == kTagShutdownProc) {
@@ -210,7 +289,20 @@ void CouplingRuntime::handle_control(const Message& m) {
       state->on_conn_closed(msg.conn, ctx_);
       break;
     }
+    case kTagRepHeartbeat:
+      ++ft_.heartbeats;
+      break;
+    case kTagRegionMetaBcast:
+      // Late duplicate of the startup geometry broadcast (a commit-retry
+      // nudge raced with the original broadcast's delivery).
+      break;
     default:
+      if (m.tag >= kTagImportAnswerBase && m.tag < kTagDataBase) {
+        // Answer broadcast arriving outside an import_wait (e.g. a retried
+        // request answered after the original already completed).
+        stash_answer(AnswerMsg::decode(m.payload));
+        break;
+      }
       throw util::InternalError("unexpected control tag " + std::to_string(m.tag) +
                                 " at process " + std::to_string(ctx_.id()));
   }
@@ -221,6 +313,7 @@ void CouplingRuntime::drain_control() {
   // the FIFO the skip rules rely on (a request's buddy-help precedes the
   // next forwarded request in the rep's send order).
   while (auto m = ctx_.try_recv(MatchSpec{rep_, kAnyTag})) {
+    last_rep_seen_ = ctx_.now();
     if (m->tag == kTagShutdownProc) {
       // All connected programs already finished; remember it for
       // finalize()'s service loop and keep exporting.
@@ -256,15 +349,34 @@ void CouplingRuntime::export_region(const std::string& name, Timestamp t,
   // whole connection. Stalling is skipped when this process itself must
   // advance to unblock the system (see ExportRegionState::safe_to_stall).
   if (options_.max_buffered_bytes > 0) {
+    // In failure-tolerant mode the stall is bounded: past the deadline we
+    // assume the importing program died without a departure notice,
+    // force-close its connections (releasing the snapshots it pinned) and
+    // continue in degraded mode. The deadline is absolute from stall
+    // entry — heartbeats prove the rep is alive, not that buffer space
+    // will ever be freed.
+    const bool bounded = options_.failure_tolerance() && options_.stall_timeout_seconds > 0;
+    const double stall_deadline = ctx_.now() + options_.stall_timeout_seconds;
     while (region.state->buffered_bytes() + region.state->snapshot_bytes() >
                options_.max_buffered_bytes &&
            region.state->safe_to_stall() && !shutdown_seen_) {
       const double stall_start = ctx_.now();
-      Message m = ctx_.recv(MatchSpec{rep_, kAnyTag});
-      if (m.tag == kTagShutdownProc) {
+      std::optional<Message> m;
+      if (bounded) {
+        m = ctx_.recv_until(MatchSpec{rep_, kAnyTag}, stall_deadline);
+        if (!m) {
+          region.state->record_stall(ctx_.now() - stall_start);
+          region.state->degrade_open_conns(ctx_);
+          break;
+        }
+      } else {
+        m = ctx_.recv(MatchSpec{rep_, kAnyTag});
+      }
+      last_rep_seen_ = ctx_.now();
+      if (m->tag == kTagShutdownProc) {
         shutdown_seen_ = true;
       } else {
-        handle_control(m);
+        handle_control(*m);
       }
       region.state->record_stall(ctx_.now() - stall_start);
     }
@@ -307,10 +419,12 @@ CouplingRuntime::ImportStatus CouplingRuntime::import_wait(const ImportTicket& t
                   << ticket.region << "': ticket seq " << ticket.seq << ", expected "
                   << region.next_wait_seq << " (waits must follow issue order)");
   CCF_REQUIRE(ticket.seq < region.next_seq, "import_wait on a ticket never issued");
-  ++region.next_wait_seq;
 
   const double start = ctx_.now();
-  const AnswerMsg answer = await_answer(region.conn_id);
+  const AnswerMsg answer = await_answer(region, ticket.seq, ticket.requested);
+  // Bumped only after the answer arrives: stash_answer treats seqs below
+  // this as stale and must not discard the in-flight one.
+  ++region.next_wait_seq;
   CCF_CHECK(answer.conn == static_cast<std::uint32_t>(region.conn_id) &&
                 answer.seq == ticket.seq,
             "import answer out of order: got conn " << answer.conn << " seq " << answer.seq
@@ -358,20 +472,54 @@ void CouplingRuntime::finalize() {
   for (auto& [name, region] : export_regions_) {
     if (region.state) region.state->finalize(ctx_);
   }
-  if (rank_ == 0) {
+  auto send_conn_done = [&] {
+    // Lossless fabric: rank 0 speaks for the program (requests are
+    // collective, so rank 0 finishing means every answer was broadcast
+    // and the remaining ranks finish from their mailboxes). Under faults
+    // any single rank's answer copy may have been dropped, and only a
+    // live rep can replay it — so every rank reports its own completion
+    // and the rep waits for all of them.
+    if (rank_ != 0 && !options_.failure_tolerance()) return;
     for (int conn : config_.connections_of_importer_program(program_)) {
       ConnMsg msg{static_cast<std::uint32_t>(conn)};
       ctx_.send(rep_, kTagImporterConnDone, msg.encode());
     }
-  }
+  };
+  send_conn_done();
 
   // Service loop: this process's part of the region data may still be
   // requested (a slower importer catching up); keep answering until the
   // rep confirms every connected program finished.
-  while (!shutdown_seen_) {
-    Message m = ctx_.recv(MatchSpec{rep_, kAnyTag});
-    if (m.tag == kTagShutdownProc) break;
-    handle_control(m);
+  if (!options_.failure_tolerance()) {
+    while (!shutdown_seen_) {
+      Message m = ctx_.recv(MatchSpec{rep_, kAnyTag});
+      if (m.tag == kTagShutdownProc) break;
+      handle_control(m);
+    }
+  } else {
+    // Failure-tolerant service loop: tick periodically to (a) re-send our
+    // end-of-stream notice in case it was lost and (b) detect that the rep
+    // itself went away (no traffic — not even heartbeats — for the
+    // departure window), in which case we give up waiting for the global
+    // shutdown and finish degraded rather than hang forever.
+    double tick = options_.retry_timeout_seconds * (1.0 + 0.1 * rank_);
+    while (!shutdown_seen_) {
+      auto m = ctx_.recv_until(MatchSpec{rep_, kAnyTag}, ctx_.now() + tick);
+      if (!m) {
+        if (options_.departure_timeout_seconds > 0 &&
+            ctx_.now() - last_rep_seen_ > options_.departure_timeout_seconds) {
+          ft_.rep_departed = true;
+          break;
+        }
+        ++ft_.conn_done_retries;
+        send_conn_done();
+        tick = std::min(tick * options_.retry_backoff_factor, options_.backoff_cap_seconds());
+        continue;
+      }
+      last_rep_seen_ = ctx_.now();
+      if (m->tag == kTagShutdownProc) break;
+      handle_control(*m);
+    }
   }
   finished_at_ = ctx_.now();
 }
@@ -389,6 +537,7 @@ ProcStats CouplingRuntime::stats_snapshot() const {
     }
   }
   for (const auto& [name, region] : import_regions_) stats.imports.push_back(region.stats);
+  stats.ft = ft_;
   stats.finished_at = finished_at_;
   return stats;
 }

@@ -120,10 +120,16 @@ class CouplingRuntime {
   void handle_control(const runtime::Message& m);
   ExportRegionState* state_for_conn(std::uint32_t conn);
 
-  /// Blocks for the next import answer on `conn_id`, serving framework
+  /// Parks an answer for a later import_wait; duplicates and answers for
+  /// already-consumed sequence numbers are discarded (counted as stale).
+  void stash_answer(const AnswerMsg& answer);
+
+  /// Blocks for the answer to request `seq` on `region`, serving framework
   /// control traffic meanwhile (deadlock freedom for bidirectional
-  /// couplings) and stashing answers that belong to other connections.
-  AnswerMsg await_answer(int conn_id);
+  /// couplings) and stashing answers that belong to other requests or
+  /// connections. In failure-tolerant mode the wait times out and re-sends
+  /// the request with exponential backoff (every rank retries, staggered).
+  AnswerMsg await_answer(ImportRegion& region, std::uint32_t seq, Timestamp requested);
 
   runtime::ProcessContext& ctx_;
   const Config& config_;
@@ -137,7 +143,11 @@ class CouplingRuntime {
   bool shutdown_seen_ = false;
   std::map<std::string, ExportRegion> export_regions_;
   std::map<std::string, ImportRegion> import_regions_;
-  std::map<int, std::deque<AnswerMsg>> stashed_answers_;
+  /// Answers parked per connection, keyed by request seq (the fabric may
+  /// deliver them out of order; import_wait consumes them in issue order).
+  std::map<int, std::map<std::uint32_t, AnswerMsg>> stashed_answers_;
+  FaultToleranceStats ft_;
+  double last_rep_seen_ = 0;  ///< ctx.now() of the last message from the rep
   double finished_at_ = 0;
 };
 

@@ -273,8 +273,65 @@ void ExportRegionState::raise_low_water(Conn& conn, Timestamp threshold,
   conn.history.prune_below(threshold);
 }
 
+void ExportRegionState::replay_response(Conn& conn, std::uint32_t seq, ProcessContext& ctx) {
+  ++stats_.duplicate_requests;
+  // Resolved within the retained window: replay the decisive answer.
+  auto it = conn.resolved.find(seq);
+  if (it != conn.resolved.end()) {
+    ResponseMsg resp;
+    resp.conn = static_cast<std::uint32_t>(conn.cfg.conn_id);
+    resp.seq = seq;
+    resp.result = it->second.result;
+    resp.matched = it->second.matched;
+    resp.latest_exported = conn.history.latest();
+    ctx.send(rep_id_, kTagProcResponse, resp.encode());
+    return;
+  }
+  // Still unresolved here: PENDING is always a legal (re)answer, and the
+  // eventual decisive response follows through the normal path.
+  for (const auto& o : conn.outstanding) {
+    if (o.seq != seq) continue;
+    ResponseMsg resp;
+    resp.conn = static_cast<std::uint32_t>(conn.cfg.conn_id);
+    resp.seq = seq;
+    resp.result = MatchResult::Pending;
+    resp.matched = kNeverExported;
+    resp.latest_exported = conn.history.latest();
+    ctx.send(rep_id_, kTagProcResponse, resp.encode());
+    return;
+  }
+  // Ancient (evicted from the resolved window): the collective answer was
+  // consumed long ago; nothing useful to replay.
+}
+
 void ExportRegionState::on_forwarded_request(const RequestMsg& msg, ProcessContext& ctx) {
   Conn& conn = conn_of(msg.conn);
+  if (msg.seq < conn.next_request_seq) {
+    // Duplicate of an already-accepted request (a retry, or a fabric
+    // duplicate): never process twice, only replay what we answered.
+    replay_response(conn, msg.seq, ctx);
+    return;
+  }
+  if (msg.seq > conn.next_request_seq) {
+    // Arrived ahead of an undelivered predecessor: park until the gap
+    // fills. emplace dedups repeated copies of the same parked seq.
+    ++stats_.reordered_requests;
+    conn.parked_requests.emplace(msg.seq, msg);
+    return;
+  }
+  process_request(conn, msg, ctx);
+  ++conn.next_request_seq;
+  while (!conn.parked_requests.empty() &&
+         conn.parked_requests.begin()->first == conn.next_request_seq) {
+    const RequestMsg next = conn.parked_requests.begin()->second;
+    conn.parked_requests.erase(conn.parked_requests.begin());
+    process_request(conn, next, ctx);
+    ++conn.next_request_seq;
+  }
+}
+
+void ExportRegionState::process_request(Conn& conn, const RequestMsg& msg,
+                                        ProcessContext& ctx) {
   CCF_REQUIRE(msg.requested > conn.last_request,
               "import request timestamps must increase: " << msg.requested << " after "
                                                           << conn.last_request);
@@ -327,6 +384,14 @@ void ExportRegionState::on_buddy_help(const AnswerMsg& msg, ProcessContext& ctx)
     // We already resolved this request locally (our decisive response and
     // the rep's help crossed on the wire). Validate consistency.
     auto it = conn.resolved.find(msg.seq);
+    if (it == conn.resolved.end() && options_.failure_tolerance()) {
+      // Help is a best-effort hint. On a faulty fabric it can arrive
+      // duplicated past the resolved window or reordered ahead of the
+      // request it answers; dropping it degrades to the paper's baseline
+      // (this process keeps buffering until it decides locally) without
+      // affecting which timestamp matches.
+      return;
+    }
     CCF_CHECK(it != conn.resolved.end(), "buddy-help for unknown request seq " << msg.seq);
     CCF_CHECK(it->second.result == msg.result &&
                   (msg.result != MatchResult::Match || it->second.matched == msg.matched),
@@ -367,6 +432,17 @@ void ExportRegionState::on_conn_closed(std::uint32_t conn_id, ProcessContext& ct
     if (auto f = pool_.drop(ts, conn.cfg.conn_id)) freed.push_back(*f);
   }
   trace_removed(freed, ctx);
+}
+
+std::size_t ExportRegionState::degrade_open_conns(ProcessContext& ctx) {
+  std::size_t n = 0;
+  for (const auto& c : conns_) {
+    if (c.closed) continue;
+    on_conn_closed(static_cast<std::uint32_t>(c.cfg.conn_id), ctx);
+    ++n;
+  }
+  stats_.degraded_conns += n;
+  return n;
 }
 
 bool ExportRegionState::all_conns_closed() const {

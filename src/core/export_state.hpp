@@ -65,7 +65,10 @@ class ExportRegionState {
   void on_export(Timestamp t, const double* local_block, ProcessContext& ctx);
 
   /// A request forwarded by the rep. Sends this process's response
-  /// (possibly PENDING) back to the rep via `ctx`.
+  /// (possibly PENDING) back to the rep via `ctx`. Requests are processed
+  /// exactly once per sequence number: duplicates get their original
+  /// response replayed, and requests arriving ahead of a gap are parked
+  /// until the gap fills (the fabric may duplicate or reorder).
   void on_forwarded_request(const RequestMsg& msg, ProcessContext& ctx);
 
   /// The rep's buddy-help answer for a request this process had PENDING.
@@ -80,6 +83,12 @@ class ExportRegionState {
   /// The importing program of `conn_id` finished: release every snapshot
   /// held for it and skip all future buffering on that connection.
   void on_conn_closed(std::uint32_t conn_id, ProcessContext& ctx);
+
+  /// Liveness escape hatch (failure-tolerant mode): force-close every
+  /// still-open connection so a process stalled on a finite buffer against
+  /// a dead importer releases its snapshots and continues in degraded,
+  /// unconnected mode. Returns the number of connections closed.
+  std::size_t degrade_open_conns(ProcessContext& ctx);
 
   /// Live buffered bytes in this region's pool.
   std::size_t buffered_bytes() const { return pool_.stats().live_bytes; }
@@ -152,11 +161,18 @@ class ExportRegionState {
     bool closed = false;  ///< importer program finished; never buffer again
     Timestamp last_region_lo = kNeverExported;  ///< lo of the newest request's region
     /// Recently resolved requests, for validating racy buddy-help
-    /// duplicates (bounded; see resolve_front).
+    /// duplicates and replaying responses to retried requests (bounded;
+    /// see resolve_front).
     std::map<std::uint32_t, AnswerMsg> resolved;
+    /// Next request sequence number this process will accept; lower seqs
+    /// are duplicates, higher ones are parked until the gap fills.
+    std::uint32_t next_request_seq = 0;
+    std::map<std::uint32_t, RequestMsg> parked_requests;
   };
 
   Conn& conn_of(std::uint32_t conn_id);
+  void process_request(Conn& conn, const RequestMsg& msg, ProcessContext& ctx);
+  void replay_response(Conn& conn, std::uint32_t seq, ProcessContext& ctx);
   void send_response(Conn& conn, std::uint32_t seq, const MatchAnswer& answer,
                      ProcessContext& ctx);
   void resolve_front(Conn& conn, MatchResult result, Timestamp matched, ProcessContext& ctx);

@@ -26,6 +26,53 @@ struct FrameworkOptions {
   /// snapshots; importer departures release whole connections) until the
   /// new snapshot fits. Stall counts/time are recorded in the stats.
   std::size_t max_buffered_bytes = 0;
+
+  // --- failure tolerance -------------------------------------------------
+  // Everything below defaults to "off": with the defaults, the protocol
+  // behaves exactly as the lossless baseline (zero happy-path drift). The
+  // machinery only matters on a faulty fabric (see transport::FaultInjector).
+
+  /// Base timeout for a proc waiting on its rep (import answers, the
+  /// commit-time geometry broadcast, shutdown). On expiry the proc
+  /// re-sends its request; the protocol's sequence numbers make the
+  /// duplicates idempotent end-to-end. 0 disables retries entirely
+  /// (plain blocking receives).
+  double retry_timeout_seconds = 0;
+
+  /// Exponential backoff: each successive retry waits `backoff_factor`
+  /// times longer, capped at `retry_backoff_max_seconds` (0 = cap at
+  /// 16x the base timeout).
+  double retry_backoff_factor = 2.0;
+  double retry_backoff_max_seconds = 0;
+
+  /// Retries per blocking wait before giving up with util::TimeoutError.
+  int max_retries = 64;
+
+  /// Reps emit a heartbeat to their own procs every interval while idle,
+  /// so workers in timeout loops can distinguish "rep is slow" from "rep
+  /// is gone". 0 disables heartbeats.
+  double heartbeat_interval_seconds = 0;
+
+  /// A worker in its shutdown service loop that has heard nothing from
+  /// its rep for this long presumes the rep departed and finishes
+  /// degraded instead of blocking forever. Requires heartbeats to be
+  /// meaningful. 0 = wait forever.
+  double departure_timeout_seconds = 0;
+
+  /// An exporter stalled on max_buffered_bytes for this long with no
+  /// request traffic force-closes its connections (degraded, unconnected
+  /// mode: later exports skip send/buffer work) instead of waiting
+  /// forever on a dead importer. 0 = wait forever.
+  double stall_timeout_seconds = 0;
+
+  /// True when the retry/liveness machinery is active.
+  bool failure_tolerance() const { return retry_timeout_seconds > 0; }
+
+  /// Effective backoff cap (resolves the 0 = "16x base" default).
+  double backoff_cap_seconds() const {
+    return retry_backoff_max_seconds > 0 ? retry_backoff_max_seconds
+                                         : 16 * retry_timeout_seconds;
+  }
 };
 
 }  // namespace ccf::core

@@ -27,6 +27,8 @@ inline constexpr Tag kTagRequestForward = 0x100001;  ///< importer rep -> export
 inline constexpr Tag kTagProcForward = 0x100002;     ///< exporter rep -> exporter procs
 inline constexpr Tag kTagProcResponse = 0x100003;    ///< exporter proc -> own rep
 inline constexpr Tag kTagRepAnswer = 0x100004;       ///< exporter rep -> importer rep
+inline constexpr Tag kTagConnFinishedAck = 0x100005;  ///< exporter rep -> importer rep
+                                                      ///< (failure-tolerant mode only)
 inline constexpr Tag kTagImportAnswerBase = 0x110000;  ///< +conn: importer rep -> procs
 inline constexpr Tag kTagBuddyHelp = 0x100006;       ///< exporter rep -> pending procs
 inline constexpr Tag kTagConnFinished = 0x100007;    ///< importer rep -> exporter rep
@@ -36,6 +38,8 @@ inline constexpr Tag kTagConnClosed = 0x10000D;      ///< rep -> own procs: impo
 inline constexpr Tag kTagRegionDefs = 0x10000A;      ///< rank0 -> own rep
 inline constexpr Tag kTagPeerRegionMeta = 0x10000B;  ///< rep -> peer rep
 inline constexpr Tag kTagRegionMetaBcast = 0x10000C; ///< rep -> own procs
+inline constexpr Tag kTagRepHeartbeat = 0x10000E;    ///< rep -> own procs: liveness beacon
+inline constexpr Tag kTagMetaNudge = 0x10000F;       ///< proc -> own rep: resend meta bcast
 
 inline constexpr Tag kTagDataBase = 0x200000;
 

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <utility>
 
 #include "core/protocol.hpp"
 #include "core/rep_state.hpp"
@@ -33,6 +34,8 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
     return layout.program(peer).rep;
   };
 
+  auto is_own_proc = [&](ProcId id) { return id >= pl.first && id < pl.first + pl.nprocs; };
+
   RepResult result;
   std::map<int, RequestAggregator> aggregators;
   for (int conn : export_conns) {
@@ -45,11 +48,85 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
   std::map<std::string, RegionMeta> own_exports;
   std::map<std::string, RegionMeta> own_imports;
   std::map<int, RegionMeta> peer_meta;
+  transport::Payload meta_payload;  ///< kept for nudge-triggered resends
   const std::size_t participated = export_conns.size() + import_conns.size();
 
   // --- shutdown bookkeeping -------------------------------------------------
-  std::set<int> import_conns_done;   ///< own rank0 said "done importing"
+  std::set<int> import_conns_done;   ///< own rank(s) said "done importing"
+  std::map<int, std::set<int>> conn_done_ranks;  ///< which ranks reported, per conn
   std::set<int> export_conns_finished;  ///< peer rep said "done requesting"
+  // Failure-tolerant mode only: ConnFinished is retried (on the heartbeat
+  // tick) until the exporter rep acknowledges it, so a lost rep-to-rep
+  // notification cannot wedge the exporter program. Bounded retries keep
+  // termination guaranteed even if every ack is lost.
+  const bool reliable_finish = options.failure_tolerance();
+  std::set<int> conn_finished_acked;
+  std::map<int, int> conn_finished_resends;
+
+  // A rank that never responded to a forwarded request may never have
+  // received it — and a contributing silent rank never ships its data
+  // piece, wedging the importer's transfer even though the collective
+  // answer was decided by the other ranks. In failure-tolerant mode the
+  // rep re-forwards to exactly the silent ranks on heartbeat ticks and
+  // refuses to shut down while any remain (bounded by max_retries).
+  std::map<std::pair<int, std::uint32_t>, int> forward_resends;
+  std::set<std::pair<int, std::uint32_t>> forward_abandoned;
+  auto silent_ranks_remain = [&] {
+    for (const auto& [conn, agg] : aggregators) {
+      for (const auto& u : agg.unresponsive_ranks()) {
+        if (!forward_abandoned.count({conn, u.request.seq})) return true;
+      }
+    }
+    return false;
+  };
+
+  // ConnClosed is withheld per rank until that rank has responded to every
+  // request ever forwarded on the connection. Fabric-level FIFO normally
+  // guarantees a worker sees all forwards before ConnClosed, but a delay
+  // fault can reorder them — and a worker that closes the connection first
+  // frees snapshots, then resolves the late request MATCH on a version it
+  // can no longer ship, wedging the importer's transfer forever. A response
+  // (even PENDING) proves the worker holds the request as a protected
+  // obligation, making closure safe. Deferred ranks are notified from the
+  // ProcResponse handler once their elicited (re-forwarded) response lands.
+  std::set<int> conn_closed_pending;
+  auto notify_conn_closed = [&](int conn) {
+    const transport::Payload payload = ConnMsg{static_cast<std::uint32_t>(conn)}.encode();
+    auto agg = aggregators.find(conn);
+    bool deferred = false;
+    for (int rank = 0; rank < pl.nprocs; ++rank) {
+      if (reliable_finish && agg != aggregators.end() &&
+          !agg->second.rank_answered_all(rank)) {
+        deferred = true;
+        continue;
+      }
+      ctx.send(pl.proc(rank), kTagConnClosed, payload);
+    }
+    if (deferred) conn_closed_pending.insert(conn);
+  };
+
+  // Importer-side answer cache: replays the ImportAnswer broadcast when a
+  // proc retries a request whose answer already came back (the original
+  // broadcast — or the proc's request — was lost). Grows with the number
+  // of requests, like the exporter-side aggregator state.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, AnswerMsg> import_answers;
+
+  auto ship_peer_meta = [&] {
+    for (int conn : export_conns) {
+      const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+      Writer w;
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
+      own_exports.at(spec.exporter_region).encode_into(w);
+      ctx.send(peer_rep_of(conn), kTagPeerRegionMeta, w.take());
+    }
+    for (int conn : import_conns) {
+      const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+      Writer w;
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
+      own_imports.at(spec.importer_region).encode_into(w);
+      ctx.send(peer_rep_of(conn), kTagPeerRegionMeta, w.take());
+    }
+  };
 
   auto maybe_broadcast_meta = [&] {
     if (meta_broadcast || !defs_received || peer_meta.size() != participated) return;
@@ -77,23 +154,100 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
       w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
       meta.encode_into(w);
     }
-    const transport::Payload payload = w.take();
-    for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagRegionMetaBcast, payload);
+    meta_payload = w.take();
+    for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagRegionMetaBcast, meta_payload);
     meta_broadcast = true;
   };
 
+  auto import_side_done = [&] {
+    if (import_conns_done.size() != import_conns.size()) return false;
+    if (!reliable_finish) return true;
+    // Tolerant mode: every rank must have reported completion. A dropped
+    // ImportAnswer broadcast can strand any single rank, and only a live
+    // rep can replay the answer when that rank's retry arrives.
+    for (int conn : import_conns) {
+      auto it = conn_done_ranks.find(conn);
+      if (it == conn_done_ranks.end() || static_cast<int>(it->second.size()) < pl.nprocs) {
+        return false;
+      }
+    }
+    return true;
+  };
+
   auto all_finished = [&] {
-    return meta_broadcast && import_conns_done.size() == import_conns.size() &&
+    if (reliable_finish && conn_finished_acked.size() < import_conns_done.size()) return false;
+    // Only gate on silent ranks when heartbeat ticks exist to repair them.
+    if (reliable_finish && options.heartbeat_interval_seconds > 0 && silent_ranks_remain()) {
+      return false;
+    }
+    return meta_broadcast && import_side_done() &&
            export_conns_finished.size() == export_conns.size();
   };
+
+  const bool beats = options.heartbeat_interval_seconds > 0;
+  double next_beat = beats ? ctx.now() + options.heartbeat_interval_seconds : 0;
 
   // A program with no connections still performs the geometry phase, then
   // shuts its processes down immediately.
   while (!all_finished()) {
-    Message m = ctx.recv(MatchSpec{kAnyProc, kAnyTag});
+    Message m;
+    if (beats) {
+      auto maybe = ctx.recv_until(MatchSpec{kAnyProc, kAnyTag}, next_beat);
+      if (!maybe) {
+        for (ProcId proc : pl.proc_ids()) {
+          ctx.send(proc, kTagRepHeartbeat, transport::empty_payload());
+        }
+        ++result.heartbeats_sent;
+        // Re-send un-acked ConnFinished notifications on the same tick;
+        // after max_retries presume delivery (the odds of that many
+        // independent losses are negligible) so shutdown always completes.
+        if (reliable_finish) {
+          for (int conn : import_conns_done) {
+            if (conn_finished_acked.count(conn)) continue;
+            if (++conn_finished_resends[conn] > options.max_retries) {
+              conn_finished_acked.insert(conn);
+              continue;
+            }
+            ctx.send(peer_rep_of(conn), kTagConnFinished,
+                     ConnMsg{static_cast<std::uint32_t>(conn)}.encode());
+          }
+          for (const auto& [conn, agg] : aggregators) {
+            for (const auto& u : agg.unresponsive_ranks()) {
+              const std::pair<int, std::uint32_t> key{conn, u.request.seq};
+              if (forward_abandoned.count(key)) continue;
+              if (++forward_resends[key] > options.max_retries) {
+                forward_abandoned.insert(key);
+                continue;
+              }
+              const transport::Payload payload = u.request.encode();
+              for (int rank : u.ranks) ctx.send(pl.proc(rank), kTagProcForward, payload);
+              ++result.forward_resends;
+            }
+          }
+        }
+        next_beat = ctx.now() + options.heartbeat_interval_seconds;
+        continue;
+      }
+      m = std::move(*maybe);
+    } else {
+      m = ctx.recv(MatchSpec{kAnyProc, kAnyTag});
+    }
     switch (m.tag) {
       case kTagRegionDefs: {
-        CCF_CHECK(!defs_received, "duplicate region definitions");
+        if (defs_received) {
+          // Rank0 timed out waiting for the meta broadcast and re-sent its
+          // definitions. Our own shipment (or the peer's) may have been
+          // lost: re-ship ours and nudge every peer rep to re-ship theirs.
+          ++result.duplicates_ignored;
+          ship_peer_meta();
+          std::set<ProcId> peers;
+          for (int conn : export_conns) peers.insert(peer_rep_of(conn));
+          for (int conn : import_conns) peers.insert(peer_rep_of(conn));
+          for (ProcId peer : peers) {
+            ctx.send(peer, kTagMetaNudge, transport::empty_payload());
+          }
+          break;
+        }
         defs_received = true;
         Reader r(m.payload);
         const auto n_exp = r.get<std::uint32_t>();
@@ -123,32 +277,47 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
                                  << conn);
         }
         // Ship our geometry to every peer rep.
-        for (int conn : export_conns) {
-          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
-          Writer w;
-          w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
-          own_exports.at(spec.exporter_region).encode_into(w);
-          ctx.send(peer_rep_of(conn), kTagPeerRegionMeta, w.take());
-        }
-        for (int conn : import_conns) {
-          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
-          Writer w;
-          w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
-          own_imports.at(spec.importer_region).encode_into(w);
-          ctx.send(peer_rep_of(conn), kTagPeerRegionMeta, w.take());
-        }
+        ship_peer_meta();
         maybe_broadcast_meta();
         break;
       }
       case kTagPeerRegionMeta: {
         Reader r(m.payload);
         const auto conn = r.get<std::uint32_t>();
+        // emplace ignores duplicates (a peer re-shipped after a nudge).
         peer_meta.emplace(static_cast<int>(conn), RegionMeta::decode_from(r));
         maybe_broadcast_meta();
         break;
       }
+      case kTagMetaNudge: {
+        if (is_own_proc(m.src)) {
+          // A worker never saw the meta broadcast: replay it to that
+          // worker alone once it exists.
+          if (meta_broadcast) {
+            ctx.send(m.src, kTagRegionMetaBcast, meta_payload);
+            ++result.meta_resends;
+          }
+        } else if (defs_received) {
+          // A peer rep is missing our geometry: re-ship everything bound
+          // for that rep (cheap, idempotent on the receiving side).
+          ship_peer_meta();
+          ++result.meta_resends;
+        }
+        break;
+      }
       case kTagImportRequest: {
         const RequestMsg req = RequestMsg::decode(m.payload);
+        const auto cached = import_answers.find({req.conn, req.seq});
+        if (cached != import_answers.end()) {
+          // Retried request whose answer already exists: replay the
+          // broadcast instead of bothering the exporter again.
+          const transport::Payload payload = cached->second.encode();
+          for (ProcId proc : pl.proc_ids()) {
+            ctx.send(proc, import_answer_tag(static_cast<int>(req.conn)), payload);
+          }
+          ++result.answers_resent;
+          break;
+        }
         ctx.send(peer_rep_of(static_cast<int>(req.conn)), kTagRequestForward, req.encode());
         break;
       }
@@ -157,10 +326,23 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
         auto agg = aggregators.find(static_cast<int>(req.conn));
         CCF_CHECK(agg != aggregators.end(),
                   "request forwarded to non-exporter of connection " << req.conn);
-        agg->second.open(req);
+        if (agg->second.is_answered(req.seq)) {
+          // Duplicate of an answered request: the RepAnswer may have been
+          // lost on the way back — resend it from the aggregator's cache.
+          ctx.send(peer_rep_of(static_cast<int>(req.conn)), kTagRepAnswer,
+                   agg->second.answer_of(req.seq).encode());
+          ++result.answers_resent;
+          break;
+        }
+        const bool duplicate = agg->second.is_open(req.seq);
+        if (!duplicate) agg->second.open(req);
+        else ++result.duplicates_ignored;
+        // (Re-)forward to the workers. On the duplicate path this re-elicits
+        // responses in case the first ProcForward or the responses were
+        // lost; workers dedup by request seq and replay what they answered.
         const transport::Payload payload = req.encode();
         for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagProcForward, payload);
-        ++result.requests_forwarded;
+        if (!duplicate) ++result.requests_forwarded;
         break;
       }
       case kTagProcResponse: {
@@ -183,11 +365,31 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
             ++result.buddy_helps_sent;
           }
         }
+        // A withheld ConnClosed becomes deliverable once this rank has
+        // responded to every forwarded request (see notify_conn_closed).
+        if (conn_closed_pending.count(static_cast<int>(resp.conn)) &&
+            agg->second.rank_answered_all(rank)) {
+          ctx.send(m.src, kTagConnClosed,
+                   ConnMsg{resp.conn}.encode());
+          if ([&] {
+                for (int r = 0; r < pl.nprocs; ++r) {
+                  if (!agg->second.rank_answered_all(r)) return false;
+                }
+                return true;
+              }()) {
+            conn_closed_pending.erase(static_cast<int>(resp.conn));
+          }
+        }
         break;
       }
       case kTagRepAnswer: {
         const AnswerMsg answer = AnswerMsg::decode(m.payload);
-        const transport::Payload payload = answer.encode();
+        const auto [it, fresh] = import_answers.emplace(
+            std::make_pair(answer.conn, answer.seq), answer);
+        if (!fresh) ++result.duplicates_ignored;
+        // (Re-)broadcast either way: a duplicate RepAnswer means the
+        // exporter saw a retry, so some proc is still waiting.
+        const transport::Payload payload = it->second.encode();
         for (ProcId proc : pl.proc_ids()) {
           ctx.send(proc, import_answer_tag(static_cast<int>(answer.conn)), payload);
         }
@@ -195,17 +397,31 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
       }
       case kTagImporterConnDone: {
         const ConnMsg msg = ConnMsg::decode(m.payload);
-        import_conns_done.insert(static_cast<int>(msg.conn));
+        conn_done_ranks[static_cast<int>(msg.conn)].insert(static_cast<int>(m.src - pl.first));
+        if (!import_conns_done.insert(static_cast<int>(msg.conn)).second) {
+          ++result.duplicates_ignored;
+        }
+        // Relay every time: the previous ConnFinished may have been lost.
         ctx.send(peer_rep_of(static_cast<int>(msg.conn)), kTagConnFinished, msg.encode());
         break;
       }
       case kTagConnFinished: {
         const ConnMsg msg = ConnMsg::decode(m.payload);
-        export_conns_finished.insert(static_cast<int>(msg.conn));
+        if (!export_conns_finished.insert(static_cast<int>(msg.conn)).second) {
+          ++result.duplicates_ignored;
+        }
         // Tell the worker processes the importer left: they release every
         // snapshot held for this connection and stop buffering for it.
-        const transport::Payload payload = msg.encode();
-        for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagConnClosed, payload);
+        // Re-broadcast on duplicates (idempotent at the workers).
+        notify_conn_closed(static_cast<int>(msg.conn));
+        if (reliable_finish) {
+          ctx.send(m.src, kTagConnFinishedAck, msg.encode());
+        }
+        break;
+      }
+      case kTagConnFinishedAck: {
+        const ConnMsg msg = ConnMsg::decode(m.payload);
+        conn_finished_acked.insert(static_cast<int>(msg.conn));
         break;
       }
       default:

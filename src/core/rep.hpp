@@ -24,6 +24,12 @@ struct RepResult {
   std::uint64_t answers_sent = 0;
   std::uint64_t buddy_helps_sent = 0;
   std::uint64_t responses_received = 0;
+  // Failure-tolerance accounting (all zero on a lossless fabric).
+  std::uint64_t duplicates_ignored = 0;  ///< duplicate control messages absorbed
+  std::uint64_t answers_resent = 0;      ///< cached answers replayed for retries
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t meta_resends = 0;        ///< geometry re-shipped after a nudge
+  std::uint64_t forward_resends = 0;     ///< ProcForwards re-sent to silent ranks
 };
 
 /// Runs the rep to completion. Intended as the process body for the

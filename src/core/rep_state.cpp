@@ -85,6 +85,29 @@ RequestAggregator::Actions RequestAggregator::on_response(int rank, const Respon
   return actions;
 }
 
+std::vector<RequestAggregator::Unresponsive> RequestAggregator::unresponsive_ranks() const {
+  std::vector<Unresponsive> out;
+  for (const auto& [seq, state] : requests_) {
+    Unresponsive u;
+    for (int rank = 0; rank < nprocs_; ++rank) {
+      if (!state.pending_ranks.count(rank) && !state.decisive_ranks.count(rank)) {
+        u.ranks.push_back(rank);
+      }
+    }
+    if (u.ranks.empty()) continue;
+    u.request = RequestMsg{state.conn, seq, state.requested};
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+bool RequestAggregator::rank_answered_all(int rank) const {
+  for (const auto& [seq, state] : requests_) {
+    if (!state.pending_ranks.count(rank) && !state.decisive_ranks.count(rank)) return false;
+  }
+  return true;
+}
+
 bool RequestAggregator::is_open(std::uint32_t seq) const { return requests_.count(seq) > 0; }
 
 bool RequestAggregator::is_answered(std::uint32_t seq) const {

@@ -47,6 +47,24 @@ class RequestAggregator {
   bool is_answered(std::uint32_t seq) const;
   const AnswerMsg& answer_of(std::uint32_t seq) const;
 
+  /// Requests with ranks that have not responded at all — the ProcForward
+  /// (or the response) may have been lost. Even for answered requests a
+  /// silent rank matters: a contributing rank that never saw the request
+  /// never ships its data piece, wedging the importer's transfer. The rep
+  /// re-forwards to exactly these ranks in failure-tolerant mode.
+  struct Unresponsive {
+    RequestMsg request;
+    std::vector<int> ranks;
+  };
+  std::vector<Unresponsive> unresponsive_ranks() const;
+
+  /// True when `rank` has responded (PENDING or decisive) to every request
+  /// ever forwarded on this connection. Only then is it safe to tell the
+  /// rank the connection closed: a response proves the rank holds the
+  /// request as a local obligation, so closing cannot free a snapshot a
+  /// still-in-flight (delayed) forward would later need.
+  bool rank_answered_all(int rank) const;
+
   std::uint64_t buddy_helps_issued() const { return buddy_helps_issued_; }
 
  private:

@@ -46,6 +46,33 @@ void print_run_report(const CoupledSystem& system, std::ostream& os) {
       }
       if (table.rows() > 0) table.print(os);
     }
+
+    // Failure-tolerance accounting: printed only when something actually
+    // happened, so lossless runs keep the exact report layout.
+    std::uint64_t retries = 0, stale = 0, commit_retries = 0, done_retries = 0;
+    std::uint64_t dup_req = 0, reordered = 0, degraded = 0, departed = 0;
+    for (int r = 0; r < prog.nprocs; ++r) {
+      const ProcStats& stats = system.proc_stats(prog.name, r);
+      retries += stats.ft.request_retries;
+      stale += stats.ft.stale_answers;
+      commit_retries += stats.ft.commit_retries;
+      done_retries += stats.ft.conn_done_retries;
+      departed += stats.ft.rep_departed ? 1 : 0;
+      for (const auto& e : stats.exports) {
+        dup_req += e.duplicate_requests;
+        reordered += e.reordered_requests;
+        degraded += e.degraded_conns;
+      }
+    }
+    if (retries + stale + commit_retries + done_retries + dup_req + reordered + degraded +
+            departed >
+        0) {
+      os << "  fault tolerance: " << retries << " request retries, " << stale
+         << " stale answers, " << commit_retries << " commit retries, " << done_retries
+         << " conn-done retries, " << dup_req << " duplicate requests, " << reordered
+         << " reordered requests, " << degraded << " degraded conns, " << departed
+         << " departed procs\n";
+    }
     os << "\n";
   }
   os << "end time: " << system.end_time() << " s\n";
@@ -55,7 +82,8 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
   util::CsvWriter csv(path);
   csv.write_row({"program", "rank", "kind", "region", "exports", "memcpys", "skips",
                  "transfers", "helps", "stalls", "t_ub_seconds", "imports", "matches",
-                 "no_matches"});
+                 "no_matches", "dup_requests", "reordered_requests", "degraded_conns",
+                 "request_retries", "stale_answers"});
   for (const auto& prog : system.config().programs()) {
     for (int r = 0; r < prog.nprocs; ++r) {
       const ProcStats& stats = system.proc_stats(prog.name, r);
@@ -64,12 +92,17 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                        std::to_string(e.exports), std::to_string(e.buffer.stores),
                        std::to_string(e.buffer.skips), std::to_string(e.transfers),
                        std::to_string(e.buddy_helps_received), std::to_string(e.stalls),
-                       util::TableWriter::fmt(e.t_ub(), 9), "0", "0", "0"});
+                       util::TableWriter::fmt(e.t_ub(), 9), "0", "0", "0",
+                       std::to_string(e.duplicate_requests),
+                       std::to_string(e.reordered_requests),
+                       std::to_string(e.degraded_conns), "0", "0"});
       }
       for (const auto& i : stats.imports) {
         csv.write_row({prog.name, std::to_string(r), "import", i.region, "0", "0", "0", "0",
                        "0", "0", "0", std::to_string(i.imports), std::to_string(i.matches),
-                       std::to_string(i.no_matches)});
+                       std::to_string(i.no_matches), "0", "0", "0",
+                       std::to_string(stats.ft.request_retries),
+                       std::to_string(stats.ft.stale_answers)});
       }
     }
   }

@@ -45,6 +45,11 @@ struct ExportRegionStats {
   /// Finite-buffer backpressure (FrameworkOptions::max_buffered_bytes).
   std::uint64_t stalls = 0;
   double stall_seconds = 0;
+
+  // Failure tolerance (all zero on a lossless fabric).
+  std::uint64_t duplicate_requests = 0;  ///< retried/duplicated requests replayed
+  std::uint64_t reordered_requests = 0;  ///< requests parked until a gap filled
+  std::uint64_t degraded_conns = 0;      ///< connections force-closed by stall timeout
 };
 
 struct ImportRegionStats {
@@ -56,9 +61,21 @@ struct ImportRegionStats {
   std::vector<Timestamp> matched_timestamps;
 };
 
+/// Per-process failure-tolerance accounting (see FrameworkOptions).
+/// Everything stays zero/false on a lossless fabric.
+struct FaultToleranceStats {
+  std::uint64_t request_retries = 0;   ///< re-sent import requests after timeout
+  std::uint64_t stale_answers = 0;     ///< duplicate/out-of-date answers discarded
+  std::uint64_t heartbeats = 0;        ///< rep heartbeats consumed
+  std::uint64_t commit_retries = 0;    ///< startup geometry handshake retries
+  std::uint64_t conn_done_retries = 0; ///< re-sent shutdown notifications
+  bool rep_departed = false;           ///< finished via departure timeout
+};
+
 struct ProcStats {
   std::vector<ExportRegionStats> exports;
   std::vector<ImportRegionStats> imports;
+  FaultToleranceStats ft;
   double finished_at = 0;  ///< ctx.now() when the process body completed
 };
 

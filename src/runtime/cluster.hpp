@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "runtime/process_context.hpp"
+#include "transport/fault.hpp"
 
 namespace ccf::runtime {
 
@@ -17,6 +18,8 @@ struct ClusterOptions {
   ExecutionMode mode = ExecutionMode::VirtualTime;
   std::shared_ptr<const transport::LatencyModel> latency = transport::zero_model();
   CopyCostModel copy_cost = CopyCostModel::pentium4_preset();
+  /// Optional seeded fault injector applied to every send (both modes).
+  std::shared_ptr<transport::FaultInjector> faults;
 };
 
 class Cluster {

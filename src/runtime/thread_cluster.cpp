@@ -73,7 +73,9 @@ class ThreadContext final : public ProcessContext {
 
 }  // namespace
 
-ThreadCluster::ThreadCluster(ClusterOptions options) : options_(std::move(options)) {}
+ThreadCluster::ThreadCluster(ClusterOptions options) : options_(std::move(options)) {
+  network_.set_fault_injector(options_.faults);
+}
 
 void ThreadCluster::add_process(ProcId id, ProcessBody body) {
   CCF_REQUIRE(!ran_, "cannot add processes after run()");

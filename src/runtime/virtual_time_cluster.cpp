@@ -55,7 +55,8 @@ class VirtualContext final : public ProcessContext {
 
 VirtualTimeCluster::VirtualTimeCluster(ClusterOptions options)
     : options_(std::move(options)),
-      cluster_(simtime::VirtualCluster::Options{options_.latency, 500'000'000}) {}
+      cluster_(simtime::VirtualCluster::Options{options_.latency, options_.faults,
+                                                500'000'000}) {}
 
 void VirtualTimeCluster::add_process(ProcId id, ProcessBody body) {
   CCF_REQUIRE(!ran_, "cannot add processes after run()");

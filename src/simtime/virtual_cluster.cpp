@@ -111,7 +111,16 @@ void VirtualCluster::ctx_send(ProcId src, ProcId dst, Tag tag, Payload payload) 
   m.dst = dst;
   m.tag = tag;
   m.payload = payload ? std::move(payload) : transport::empty_payload();
-  const double delay = options_.latency->delay_seconds(m.size_bytes());
+  double delay = options_.latency->delay_seconds(m.size_bytes());
+  if (options_.faults) {
+    const transport::FaultDecision d = options_.faults->decide(src, dst, tag);
+    if (d.drop) return;  // vanishes in flight
+    delay += d.extra_delay_seconds;  // may reorder past later sends
+    if (d.duplicate) {
+      Message copy = m;
+      push_event_locked(Event{sender.now + delay, 0, Event::Kind::Delivery, dst, std::move(copy)});
+    }
+  }
   push_event_locked(Event{sender.now + delay, 0, Event::Kind::Delivery, dst, std::move(m)});
 }
 

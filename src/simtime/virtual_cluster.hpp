@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "transport/fault.hpp"
 #include "transport/latency.hpp"
 #include "transport/message.hpp"
 #include "util/check.hpp"
@@ -91,6 +92,9 @@ class VirtualCluster {
  public:
   struct Options {
     std::shared_ptr<const transport::LatencyModel> latency = transport::zero_model();
+    /// Optional seeded fault injector: sends may be dropped, duplicated,
+    /// or delayed (a delay in virtual time realises reordering).
+    std::shared_ptr<transport::FaultInjector> faults;
     /// Hard cap on total events processed; guards against runaway loops.
     std::uint64_t max_events = 500'000'000;
     /// Record every processed event into an inspectable journal (bounded

@@ -1,0 +1,70 @@
+#include "transport/fault.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ccf::transport {
+
+namespace {
+
+// One 64-bit hash per (seed, src, dst, index) identifies the message's
+// position in the schedule; SplitMix64 expands it into the independent
+// uniform draws for each fault kind.
+std::uint64_t message_key(std::uint64_t seed, ProcId src, ProcId dst, std::uint64_t index) {
+  util::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32 |
+                              static_cast<std::uint32_t>(dst)));
+  return sm.next() ^ index * 0x9e3779b97f4a7c15ULL;
+}
+
+double to_unit(std::uint64_t bits) { return static_cast<double>(bits >> 11) * 0x1.0p-53; }
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  CCF_REQUIRE(plan_.drop_prob >= 0 && plan_.drop_prob <= 1, "drop_prob out of [0,1]");
+  CCF_REQUIRE(plan_.duplicate_prob >= 0 && plan_.duplicate_prob <= 1,
+              "duplicate_prob out of [0,1]");
+  CCF_REQUIRE(plan_.delay_prob >= 0 && plan_.delay_prob <= 1, "delay_prob out of [0,1]");
+  CCF_REQUIRE(plan_.delay_min_seconds >= 0 && plan_.delay_max_seconds >= plan_.delay_min_seconds,
+              "delay bounds must satisfy 0 <= min <= max");
+}
+
+FaultDecision FaultInjector::decide(ProcId src, ProcId dst, Tag tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (plan_.eligible && !plan_.eligible(src, dst, tag)) return {};
+  const std::uint64_t index = link_counts_[{src, dst}]++;
+  ++stats_.eligible;
+  if (faults_injected_ >= plan_.max_faults) return {};
+
+  util::SplitMix64 draws(message_key(plan_.seed, src, dst, index));
+  FaultDecision d;
+  if (to_unit(draws.next()) < plan_.drop_prob) {
+    d.drop = true;
+    ++stats_.dropped;
+    ++faults_injected_;
+    return d;
+  }
+  const double dup_draw = to_unit(draws.next());
+  const double delay_draw = to_unit(draws.next());
+  const double delay_span = to_unit(draws.next());
+  if (dup_draw < plan_.duplicate_prob) {
+    d.duplicate = true;
+    ++stats_.duplicated;
+    ++faults_injected_;
+  }
+  if (delay_draw < plan_.delay_prob && plan_.delay_max_seconds > 0) {
+    d.extra_delay_seconds =
+        plan_.delay_min_seconds +
+        (plan_.delay_max_seconds - plan_.delay_min_seconds) * delay_span;
+    ++stats_.delayed;
+    ++faults_injected_;
+  }
+  return d;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ccf::transport

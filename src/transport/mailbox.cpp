@@ -4,13 +4,17 @@
 
 namespace ccf::transport {
 
-void Mailbox::deliver(Message m) {
+bool Mailbox::deliver(Message m) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return;
+    if (closed_) {
+      ++dropped_;
+      return false;
+    }
     queue_.push_back(std::move(m));
   }
   cv_.notify_all();
+  return true;
 }
 
 std::optional<Message> Mailbox::extract_locked(const MatchSpec& spec) {
@@ -74,6 +78,11 @@ void Mailbox::close() {
 bool Mailbox::closed() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return closed_;
+}
+
+std::uint64_t Mailbox::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 }  // namespace ccf::transport

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -27,8 +28,9 @@ class MailboxClosed : public util::Error {
 class Mailbox {
  public:
   /// Enqueue; wakes one waiting receiver. Messages to a closed mailbox are
-  /// dropped (the owning process has terminated).
-  void deliver(Message m);
+  /// dropped (the owning process has terminated); returns false and counts
+  /// the drop so lost mail is never silent.
+  bool deliver(Message m);
 
   /// Blocks until a message matching `spec` is available and removes it.
   /// Throws MailboxClosed if close() is called while waiting.
@@ -49,6 +51,9 @@ class Mailbox {
   void close();
   bool closed() const;
 
+  /// Number of messages dropped because they arrived after close().
+  std::uint64_t dropped() const;
+
  private:
   std::optional<Message> extract_locked(const MatchSpec& spec);
 
@@ -56,6 +61,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool closed_ = false;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace ccf::transport

@@ -38,6 +38,13 @@ class ProtocolViolation : public Error {
   explicit ProtocolViolation(const std::string& what) : Error(what) {}
 };
 
+/// A bounded retry loop exhausted its retry budget without an answer
+/// (failure-tolerant mode only; see FrameworkOptions::retry_timeout_seconds).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace ccf::util
 
 #define CCF_THROW_IMPL(ExcType, expr_text, msg_stream)                     \
