@@ -112,6 +112,12 @@ void CouplingRuntime::commit() {
     }
   }
   last_rep_seen_ = ctx_.now();
+  // In tolerant mode the rep must not shut down until every worker holds
+  // the geometry (a peer program may finish — and trigger rep exit —
+  // before a dropped broadcast was recovered), so receipt is acknowledged.
+  if (options_.failure_tolerance()) {
+    ctx_.send(rep_, kTagMetaAck, transport::empty_payload());
+  }
   Reader r(m.payload);
   std::map<std::uint32_t, RegionMeta> peer_meta;
   const auto n = r.get<std::uint32_t>();
@@ -294,7 +300,11 @@ void CouplingRuntime::handle_control(const Message& m) {
       break;
     case kTagRegionMetaBcast:
       // Late duplicate of the startup geometry broadcast (a commit-retry
-      // nudge raced with the original broadcast's delivery).
+      // nudge raced with the original broadcast's delivery, or the rep is
+      // re-broadcasting because our ack was lost): re-acknowledge.
+      if (options_.failure_tolerance()) {
+        ctx_.send(rep_, kTagMetaAck, transport::empty_payload());
+      }
       break;
     default:
       if (m.tag >= kTagImportAnswerBase && m.tag < kTagDataBase) {
@@ -546,6 +556,12 @@ std::string CouplingRuntime::trace_listing(const std::string& region) const {
   auto it = export_regions_.find(region);
   if (it == export_regions_.end() || !it->second.state) return "";
   return it->second.state->trace().listing();
+}
+
+std::vector<TraceEvent> CouplingRuntime::trace_events(const std::string& region) const {
+  auto it = export_regions_.find(region);
+  if (it == export_regions_.end() || !it->second.state) return {};
+  return it->second.state->trace().events();
 }
 
 }  // namespace ccf::core

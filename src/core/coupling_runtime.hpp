@@ -96,6 +96,11 @@ class CouplingRuntime {
   /// the region is unconnected).
   std::string trace_listing(const std::string& region) const;
 
+  /// Structured trace events of an exported region (empty if tracing is
+  /// off or the region is unconnected). The model-checking conformance
+  /// checker consumes these instead of parsing listings.
+  std::vector<TraceEvent> trace_events(const std::string& region) const;
+
  private:
   struct ExportRegion {
     dist::BlockDecomposition decomp;

@@ -117,10 +117,15 @@ class ExportRegionState {
 
   const std::string& region_name() const { return name_; }
 
-  /// Stats with the buffer-pool counters folded in.
+  /// Stats with the buffer-pool and matcher counters folded in.
   ExportRegionStats stats_snapshot() const {
     ExportRegionStats s = stats_;
     s.buffer = pool_.stats();
+    for (const auto& c : conns_) {
+      const ExportHistory::EvalCounters& ec = c.history.eval_counters();
+      s.matcher_evaluations += ec.evaluations;
+      s.matcher_pending += ec.pending;
+    }
     return s;
   }
 

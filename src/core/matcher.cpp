@@ -1,10 +1,16 @@
 #include "core/matcher.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
 namespace ccf::core {
+
+bool matcher_mutation_enabled() {
+  static const bool on = std::getenv("CCF_MC_MUTATE_MATCHER") != nullptr;
+  return on;
+}
 
 std::string to_string(MatchResult r) {
   switch (r) {
@@ -34,27 +40,47 @@ std::optional<Timestamp> ExportHistory::best_candidate(const MatchQuery& query) 
   const auto lo_it = std::lower_bound(timestamps_.begin(), timestamps_.end(), region.lo);
   std::optional<Timestamp> best;
   for (auto it = lo_it; it != timestamps_.end() && *it <= region.hi; ++it) {
+    if (matcher_mutation_enabled()) {
+      // Deliberate bug (harness conformance target): first-in-region wins.
+      if (!best) best = *it;
+      continue;
+    }
     if (!best || better_match(*it, *best, query.requested)) best = *it;
   }
   return best;
 }
 
 MatchAnswer ExportHistory::evaluate(const MatchQuery& query) const {
+  ++eval_counters_.evaluations;
   MatchAnswer answer;
   answer.latest_exported = latest();
 
-  // Decidable once exports reached the requested timestamp (no future
-  // export can beat the current best for any policy), or at end-of-stream.
-  const bool decidable = finalized_ || answer.latest_exported >= query.requested;
+  // Decidable when no future export can change the outcome: at
+  // end-of-stream, once exports passed the region's upper edge, or once
+  // the current best is unbeatable. A best at/above the request wins
+  // outright (later exports are farther). A best below the request (REG)
+  // stays beatable until exports pass its mirror point 2x - best: an
+  // export there ties on distance and the tie prefers the later
+  // timestamp. For REGL the region ends at the request, so the upper-edge
+  // test reduces to the paper's latest >= requested rule.
+  const Interval region = query.region();
+  const std::optional<Timestamp> best = best_candidate(query);
+  bool decidable = finalized_ || answer.latest_exported >= region.hi;
+  if (!decidable && best) {
+    decidable = answer.latest_exported >= 2 * query.requested - *best;
+  }
   if (!decidable) {
     answer.result = MatchResult::Pending;
+    ++eval_counters_.pending;
     return answer;
   }
-  if (auto best = best_candidate(query)) {
+  if (best) {
     answer.result = MatchResult::Match;
     answer.matched = *best;
+    ++eval_counters_.matches;
   } else {
     answer.result = MatchResult::NoMatch;
+    ++eval_counters_.no_matches;
   }
   return answer;
 }

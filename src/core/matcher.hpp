@@ -44,6 +44,15 @@ struct MatchAnswer {
 
 class ExportHistory {
  public:
+  /// Pure observation counters over evaluate() calls (model-checking /
+  /// stats interface; recording them never changes behaviour).
+  struct EvalCounters {
+    std::uint64_t evaluations = 0;  ///< evaluate() calls
+    std::uint64_t pending = 0;      ///< answers that were PENDING
+    std::uint64_t matches = 0;      ///< answers that were MATCH
+    std::uint64_t no_matches = 0;   ///< answers that were NO_MATCH
+  };
+
   /// Records an export; timestamps must be strictly increasing. The
   /// latest-export watermark always advances; the timestamp is kept as a
   /// match candidate only if it lies above the prune clip (a pruned-away
@@ -77,12 +86,23 @@ class ExportHistory {
 
   const std::vector<Timestamp>& timestamps() const { return timestamps_; }
 
+  const EvalCounters& eval_counters() const { return eval_counters_; }
+
  private:
   std::vector<Timestamp> timestamps_;  ///< candidate list, strictly increasing
   Timestamp latest_ = kNeverExported;  ///< true latest export (never pruned)
   Timestamp clip_ = kNeverExported;    ///< candidates must be above the clip
   bool clip_exclusive_ = false;        ///< true: > clip_; false: >= clip_
   bool finalized_ = false;
+  mutable EvalCounters eval_counters_;
 };
+
+/// Testing-only semantic mutation point, read once from the environment
+/// variable CCF_MC_MUTATE_MATCHER. When set, best_candidate() deliberately
+/// returns the lowest in-region candidate instead of the closest one — a
+/// realistic matcher bug the model-checking harness must catch (see
+/// docs/TESTING.md, "Mutation catch"). Never set in production; the lazy
+/// static makes the default path one predictable branch.
+bool matcher_mutation_enabled();
 
 }  // namespace ccf::core

@@ -40,6 +40,8 @@ inline constexpr Tag kTagPeerRegionMeta = 0x10000B;  ///< rep -> peer rep
 inline constexpr Tag kTagRegionMetaBcast = 0x10000C; ///< rep -> own procs
 inline constexpr Tag kTagRepHeartbeat = 0x10000E;    ///< rep -> own procs: liveness beacon
 inline constexpr Tag kTagMetaNudge = 0x10000F;       ///< proc -> own rep: resend meta bcast
+inline constexpr Tag kTagMetaAck = 0x100010;         ///< proc -> own rep: meta bcast received
+inline constexpr Tag kTagPeerMetaAck = 0x100011;     ///< rep -> peer rep: peer meta received
 
 inline constexpr Tag kTagDataBase = 0x200000;
 

@@ -50,6 +50,21 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
   std::map<int, RegionMeta> peer_meta;
   transport::Payload meta_payload;  ///< kept for nudge-triggered resends
   const std::size_t participated = export_conns.size() + import_conns.size();
+  // Tolerant mode: workers acknowledge the meta broadcast, and the rep may
+  // not exit while any worker still lacks the geometry — a peer program
+  // finishing early would otherwise kill the rep mid-recovery and strand a
+  // worker whose broadcast was dropped in an unanswerable commit() retry
+  // loop. Un-acked workers are re-broadcast to on heartbeat ticks; after
+  // max_retries delivery is presumed (termination stays guaranteed).
+  std::set<ProcId> meta_acked;
+  std::map<ProcId, int> meta_resends;
+  // The rep-to-rep geometry shipment needs the same treatment: a peer
+  // program can run to completion (zero imports) and take its rep down
+  // while our PeerRegionMeta to it — or, worse, its shipment to us — is
+  // still lost in flight. Each shipment is therefore acknowledged per
+  // connection, re-shipped on heartbeat ticks, and gates this rep's exit.
+  std::set<int> peer_meta_acked;
+  std::map<int, int> peer_meta_resends;
 
   // --- shutdown bookkeeping -------------------------------------------------
   std::set<int> import_conns_done;   ///< own rank(s) said "done importing"
@@ -111,21 +126,21 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
   // of requests, like the exporter-side aggregator state.
   std::map<std::pair<std::uint32_t, std::uint32_t>, AnswerMsg> import_answers;
 
-  auto ship_peer_meta = [&] {
-    for (int conn : export_conns) {
-      const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
-      Writer w;
-      w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
+  auto ship_conn_meta = [&](int conn) {
+    const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+    Writer w;
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
+    if (spec.exporter_program == program_name) {
       own_exports.at(spec.exporter_region).encode_into(w);
-      ctx.send(peer_rep_of(conn), kTagPeerRegionMeta, w.take());
-    }
-    for (int conn : import_conns) {
-      const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
-      Writer w;
-      w.put<std::uint32_t>(static_cast<std::uint32_t>(conn));
+    } else {
       own_imports.at(spec.importer_region).encode_into(w);
-      ctx.send(peer_rep_of(conn), kTagPeerRegionMeta, w.take());
     }
+    ctx.send(peer_rep_of(conn), kTagPeerRegionMeta, w.take());
+  };
+
+  auto ship_peer_meta = [&] {
+    for (int conn : export_conns) ship_conn_meta(conn);
+    for (int conn : import_conns) ship_conn_meta(conn);
   };
 
   auto maybe_broadcast_meta = [&] {
@@ -180,6 +195,14 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
     if (reliable_finish && options.heartbeat_interval_seconds > 0 && silent_ranks_remain()) {
       return false;
     }
+    if (reliable_finish && options.heartbeat_interval_seconds > 0 &&
+        static_cast<int>(meta_acked.size()) < pl.nprocs) {
+      return false;
+    }
+    if (reliable_finish && options.heartbeat_interval_seconds > 0 &&
+        peer_meta_acked.size() < participated) {
+      return false;
+    }
     return meta_broadcast && import_side_done() &&
            export_conns_finished.size() == export_conns.size();
   };
@@ -202,6 +225,37 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
         // after max_retries presume delivery (the odds of that many
         // independent losses are negligible) so shutdown always completes.
         if (reliable_finish) {
+          if (meta_broadcast && static_cast<int>(meta_acked.size()) < pl.nprocs) {
+            for (ProcId proc : pl.proc_ids()) {
+              if (meta_acked.count(proc)) continue;
+              if (++meta_resends[proc] > options.max_retries) {
+                meta_acked.insert(proc);
+                continue;
+              }
+              ctx.send(proc, kTagRegionMetaBcast, meta_payload);
+              ++result.meta_resends;
+            }
+          }
+          if (defs_received && peer_meta_acked.size() < participated) {
+            for (int conn : export_conns) {
+              if (peer_meta_acked.count(conn)) continue;
+              if (++peer_meta_resends[conn] > options.max_retries) {
+                peer_meta_acked.insert(conn);
+                continue;
+              }
+              ship_conn_meta(conn);
+              ++result.meta_resends;
+            }
+            for (int conn : import_conns) {
+              if (peer_meta_acked.count(conn)) continue;
+              if (++peer_meta_resends[conn] > options.max_retries) {
+                peer_meta_acked.insert(conn);
+                continue;
+              }
+              ship_conn_meta(conn);
+              ++result.meta_resends;
+            }
+          }
           for (int conn : import_conns_done) {
             if (conn_finished_acked.count(conn)) continue;
             if (++conn_finished_resends[conn] > options.max_retries) {
@@ -286,7 +340,18 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
         const auto conn = r.get<std::uint32_t>();
         // emplace ignores duplicates (a peer re-shipped after a nudge).
         peer_meta.emplace(static_cast<int>(conn), RegionMeta::decode_from(r));
+        // Acknowledge every receipt (duplicates included): the peer rep
+        // re-ships until acked, so a lost ack is repaired by re-acking the
+        // re-shipment.
+        if (reliable_finish) {
+          ctx.send(m.src, kTagPeerMetaAck, ConnMsg{conn}.encode());
+        }
         maybe_broadcast_meta();
+        break;
+      }
+      case kTagPeerMetaAck: {
+        const ConnMsg msg = ConnMsg::decode(m.payload);
+        peer_meta_acked.insert(static_cast<int>(msg.conn));
         break;
       }
       case kTagMetaNudge: {
@@ -424,6 +489,9 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
         conn_finished_acked.insert(static_cast<int>(msg.conn));
         break;
       }
+      case kTagMetaAck:
+        meta_acked.insert(m.src);
+        break;
       default:
         throw util::InternalError("rep of " + program_name + " got unexpected tag " +
                                   std::to_string(m.tag));
@@ -432,6 +500,10 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
 
   for (ProcId proc : pl.proc_ids()) {
     ctx.send(proc, kTagShutdownProc, transport::empty_payload());
+  }
+  for (const auto& [conn, agg] : aggregators) {
+    const auto& log = agg.answer_log();
+    result.answers.insert(result.answers.end(), log.begin(), log.end());
   }
   return result;
 }

@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/layout.hpp"
 #include "core/options.hpp"
+#include "core/protocol.hpp"
 #include "runtime/process_context.hpp"
 
 namespace ccf::core {
@@ -30,6 +32,11 @@ struct RepResult {
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t meta_resends = 0;        ///< geometry re-shipped after a nudge
   std::uint64_t forward_resends = 0;     ///< ProcForwards re-sent to silent ranks
+
+  /// Observation hook: every collective answer determined on exported
+  /// connections, ordered by (connection, determination order). The model-
+  /// checking conformance checker compares this against the oracle.
+  std::vector<AnswerMsg> answers;
 };
 
 /// Runs the rep to completion. Intended as the process body for the

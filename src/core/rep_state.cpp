@@ -67,6 +67,7 @@ RequestAggregator::Actions RequestAggregator::on_response(int rank, const Respon
   answer.result = response.result;
   answer.matched = response.matched;
   state.answer = answer;
+  answer_log_.push_back(answer);
   state.pending_ranks.erase(rank);
   state.decisive_ranks.insert(rank);
   actions.answer_importer = answer;

@@ -67,6 +67,11 @@ class RequestAggregator {
 
   std::uint64_t buddy_helps_issued() const { return buddy_helps_issued_; }
 
+  /// Observation hook: every collective answer this aggregator determined,
+  /// in determination order (model-checking conformance interface; append-
+  /// only, never consulted by the protocol itself).
+  const std::vector<AnswerMsg>& answer_log() const { return answer_log_; }
+
  private:
   struct RequestState {
     Timestamp requested = 0;
@@ -81,6 +86,7 @@ class RequestAggregator {
   bool buddy_help_;
   std::map<std::uint32_t, RequestState> requests_;
   std::uint64_t buddy_helps_issued_ = 0;
+  std::vector<AnswerMsg> answer_log_;
 };
 
 }  // namespace ccf::core

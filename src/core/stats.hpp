@@ -42,6 +42,11 @@ struct ExportRegionStats {
   std::uint64_t buddy_helps_received = 0;
   std::uint64_t local_decisions = 0;  ///< requests this process decided itself
 
+  /// Matcher observation counters, summed over the region's connections
+  /// (ExportHistory::EvalCounters; model-checking conformance interface).
+  std::uint64_t matcher_evaluations = 0;
+  std::uint64_t matcher_pending = 0;
+
   /// Finite-buffer backpressure (FrameworkOptions::max_buffered_bytes).
   std::uint64_t stalls = 0;
   double stall_seconds = 0;

@@ -44,6 +44,7 @@ void CoupledSystem::run() {
         slot->stats = rt.stats_snapshot();
         for (const auto& stats : slot->stats.exports) {
           slot->traces[stats.region] = rt.trace_listing(stats.region);
+          slot->events[stats.region] = rt.trace_events(stats.region);
         }
       });
     }
@@ -75,6 +76,18 @@ const std::string& CoupledSystem::trace_listing(const std::string& program, int 
   const auto& traces = it->second[static_cast<std::size_t>(rank)].traces;
   auto t = traces.find(region);
   return t == traces.end() ? kEmpty : t->second;
+}
+
+const std::vector<TraceEvent>& CoupledSystem::trace_events(const std::string& program, int rank,
+                                                           const std::string& region) const {
+  static const std::vector<TraceEvent> kEmpty;
+  auto it = slots_.find(program);
+  CCF_REQUIRE(it != slots_.end(), "unknown program '" << program << "'");
+  CCF_REQUIRE(rank >= 0 && static_cast<std::size_t>(rank) < it->second.size(),
+              "rank " << rank << " outside program " << program);
+  const auto& events = it->second[static_cast<std::size_t>(rank)].events;
+  auto t = events.find(region);
+  return t == events.end() ? kEmpty : t->second;
 }
 
 const RepResult& CoupledSystem::rep_result(const std::string& program) const {

@@ -47,12 +47,18 @@ class CoupledSystem {
   const std::string& trace_listing(const std::string& program, int rank,
                                    const std::string& region) const;
 
+  /// Structured trace events of an exported region on one process (empty
+  /// if untraced). Same data as trace_listing, machine-checkable.
+  const std::vector<TraceEvent>& trace_events(const std::string& program, int rank,
+                                              const std::string& region) const;
+
   const RepResult& rep_result(const std::string& program) const;
 
  private:
   struct ProcSlot {
     ProcStats stats;
     std::map<std::string, std::string> traces;  ///< region -> listing
+    std::map<std::string, std::vector<TraceEvent>> events;  ///< region -> events
   };
 
   Config config_;

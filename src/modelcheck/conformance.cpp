@@ -1,0 +1,213 @@
+#include "modelcheck/conformance.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ccf::modelcheck {
+
+namespace {
+
+using core::MatchResult;
+using core::TraceEvent;
+using core::TraceKind;
+
+std::string fmt_answer(bool matched, Timestamp version) {
+  std::ostringstream os;
+  if (matched) os << "MATCH@" << version;
+  else os << "NO_MATCH";
+  return os.str();
+}
+
+void check_answers(const Scenario& s, const Observation& obs, const OracleResult& oracle,
+                   std::vector<std::string>& out) {
+  for (std::size_t rank = 0; rank < obs.importer_answers.size(); ++rank) {
+    const auto& answers = obs.importer_answers[rank];
+    if (answers.size() != s.requests.size()) {
+      std::ostringstream os;
+      os << "answers: importer rank " << rank << " produced " << answers.size()
+         << " answers for " << s.requests.size() << " requests";
+      out.push_back(os.str());
+      continue;
+    }
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      const OracleAnswer& want = oracle.answers[i];
+      const RankAnswer& got = answers[i];
+      const bool want_match = want.result == MatchResult::Match;
+      if (got.matched != want_match || (want_match && got.version != want.matched)) {
+        std::ostringstream os;
+        os << "answers: rank " << rank << " request " << i << " (x=" << s.requests[i]
+           << "): got " << fmt_answer(got.matched, got.version) << ", oracle says "
+           << fmt_answer(want_match, want.matched);
+        out.push_back(os.str());
+      } else if (got.matched && got.payload != want.matched) {
+        std::ostringstream os;
+        os << "answers: rank " << rank << " request " << i << " matched " << got.version
+           << " but received payload of version " << got.payload;
+        out.push_back(os.str());
+      }
+    }
+  }
+}
+
+void check_rep_log(const Scenario& s, const Observation& obs, const OracleResult& oracle,
+                   std::vector<std::string>& out) {
+  std::vector<core::AnswerMsg> log = obs.exporter_rep.answers;
+  std::sort(log.begin(), log.end(),
+            [](const core::AnswerMsg& a, const core::AnswerMsg& b) { return a.seq < b.seq; });
+  if (log.size() != s.requests.size()) {
+    std::ostringstream os;
+    os << "rep-log: exporter rep determined " << log.size() << " answers for "
+       << s.requests.size() << " requests";
+    out.push_back(os.str());
+    return;
+  }
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const OracleAnswer& want = oracle.answers[i];
+    const core::AnswerMsg& got = log[i];
+    const bool want_match = want.result == MatchResult::Match;
+    if (got.seq != i || got.requested != s.requests[i] || got.result != want.result ||
+        (want_match && got.matched != want.matched)) {
+      std::ostringstream os;
+      os << "rep-log: seq " << got.seq << " answered {x=" << got.requested << ", "
+         << core::to_string(got.result) << "@" << got.matched << "}, oracle for request " << i
+         << " (x=" << s.requests[i] << ") says " << fmt_answer(want_match, want.matched);
+      out.push_back(os.str());
+    }
+  }
+}
+
+void check_monotone(const Observation& obs, std::vector<std::string>& out) {
+  for (std::size_t rank = 0; rank < obs.importer_answers.size(); ++rank) {
+    Timestamp last = core::kNeverExported;
+    for (std::size_t i = 0; i < obs.importer_answers[rank].size(); ++i) {
+      const RankAnswer& a = obs.importer_answers[rank][i];
+      if (!a.matched) continue;
+      if (a.version <= last) {
+        std::ostringstream os;
+        os << "monotone: rank " << rank << " request " << i << " matched " << a.version
+           << " after earlier match " << last;
+        out.push_back(os.str());
+      }
+      last = a.version;
+    }
+  }
+}
+
+void check_exporter_events(const Scenario& s, const Observation& obs,
+                           const OracleResult& oracle, std::vector<std::string>& out) {
+  for (std::size_t rank = 0; rank < obs.exporter_events.size(); ++rank) {
+    std::set<Timestamp> copied, skipped, shipped;
+    for (const TraceEvent& e : obs.exporter_events[rank]) {
+      if (e.kind == TraceKind::ExportCopy) copied.insert(e.a);
+      else if (e.kind == TraceKind::ExportSkip) skipped.insert(e.a);
+      else if (e.kind == TraceKind::SendData) shipped.insert(e.a);
+    }
+    for (Timestamp t : skipped) {
+      if (oracle.is_match(t)) {
+        std::ostringstream os;
+        os << "skip-sound: exporter rank " << rank << " skipped the memcpy for " << t
+           << ", which the oracle says is a match";
+        out.push_back(os.str());
+      }
+    }
+    for (Timestamp t : oracle.minimal_copies) {
+      if (!copied.count(t)) {
+        std::ostringstream os;
+        os << "copy-min: exporter rank " << rank << " never copied match " << t;
+        out.push_back(os.str());
+      }
+      if (!shipped.count(t)) {
+        std::ostringstream os;
+        os << "copy-min: exporter rank " << rank << " never shipped match " << t;
+        out.push_back(os.str());
+      }
+    }
+    for (Timestamp t : shipped) {
+      if (!oracle.is_match(t)) {
+        std::ostringstream os;
+        os << "copy-min: exporter rank " << rank << " shipped " << t
+           << ", which the oracle says is never a match";
+        out.push_back(os.str());
+      }
+    }
+    // Every export was either copied or skipped, never both.
+    for (Timestamp t : s.exports) {
+      const bool c = copied.count(t) > 0, k = skipped.count(t) > 0;
+      if (c == k) {
+        std::ostringstream os;
+        os << "skip-sound: exporter rank " << rank << " export " << t
+           << (c ? " both copied and skipped" : " neither copied nor skipped");
+        out.push_back(os.str());
+      }
+    }
+  }
+}
+
+void check_buffer_lifetimes(const Scenario& s, const Observation& obs,
+                            std::vector<std::string>& out) {
+  if (s.faults.enabled) return;  // a dropped final ConnClosed may strand snapshots
+  for (std::size_t rank = 0; rank < obs.exporter_stats.size(); ++rank) {
+    for (const auto& es : obs.exporter_stats[rank].exports) {
+      if (es.buffer.live_entries != 0 ||
+          es.buffer.stores != es.buffer.frees_unsent + es.buffer.frees_sent) {
+        std::ostringstream os;
+        os << "buffer-life: exporter rank " << rank << " region " << es.region << " ended with "
+           << es.buffer.live_entries << " live snapshots (" << es.buffer.stores << " stores, "
+           << es.buffer.frees_unsent << "+" << es.buffer.frees_sent << " frees)";
+        out.push_back(os.str());
+      }
+    }
+  }
+}
+
+void check_buddy_help(const Scenario& s, const Observation& obs,
+                      std::vector<std::string>& out) {
+  std::uint64_t received = 0;
+  for (const auto& stats : obs.exporter_stats) {
+    for (const auto& es : stats.exports) received += es.buddy_helps_received;
+  }
+  const std::uint64_t sent = obs.exporter_rep.buddy_helps_sent;
+  if (!s.buddy_help) {
+    if (sent != 0 || received != 0) {
+      std::ostringstream os;
+      os << "buddy-help: disabled, yet rep sent " << sent << " and ranks received " << received;
+      out.push_back(os.str());
+    }
+    return;
+  }
+  // Faults may drop (lose) or duplicate (multiply) help messages; on a
+  // lossless fabric the books must balance exactly.
+  if (!s.faults.enabled && received != sent) {
+    std::ostringstream os;
+    os << "buddy-help: rep sent " << sent << " helps but ranks received " << received;
+    out.push_back(os.str());
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> check_conformance(const Scenario& s, const Observation& obs) {
+  std::vector<std::string> out;
+  if (!obs.completed) {
+    out.push_back("run: " + (obs.error.empty() ? std::string("did not complete") : obs.error));
+    return out;
+  }
+  const OracleResult oracle = run_oracle(s.exports, s.requests, s.policy, s.tolerance);
+  check_answers(s, obs, oracle, out);
+  check_rep_log(s, obs, oracle, out);
+  check_monotone(obs, out);
+  check_exporter_events(s, obs, oracle, out);
+  check_buffer_lifetimes(s, obs, out);
+  check_buddy_help(s, obs, out);
+  return out;
+}
+
+CheckedRun check_scenario(const Scenario& s) {
+  CheckedRun r;
+  r.obs = run_scenario(s);
+  r.violations = check_conformance(s, r.obs);
+  return r;
+}
+
+}  // namespace ccf::modelcheck

@@ -1,0 +1,52 @@
+// Conformance checking: every observable of a real run against the
+// sequential oracle.
+//
+// Checks (labels appear verbatim in violation messages):
+//   answers      every importer rank produced exactly the oracle's answer
+//                sequence, and each matched payload is the matched version
+//                (the shipped snapshot is the right one);
+//   rep-log      the exporter rep's determined answers, ordered by request
+//                sequence number, equal the oracle's (Property 1: exactly
+//                one collective answer per request);
+//   monotone     matched timestamps increase strictly across requests;
+//   skip-sound   no exporter rank ever skipped the buffering memcpy for a
+//                timestamp in the oracle's minimal copy set (a skipped
+//                version can never be shipped, so skipping a match would
+//                wedge or corrupt the transfer);
+//   copy-min     every oracle match was copied (and shipped exactly once)
+//                by every contributing exporter rank — the minimal
+//                buffering set is a lower bound no schedule can beat;
+//   buffer-life  fault-free runs end with zero live snapshots: every
+//                store was eventually freed (buffered-object lifetimes
+//                are finite). Skipped under faults, where a dropped
+//                final ConnClosed legitimately strands snapshots until
+//                process shutdown;
+//   buddy-help   with buddy-help off, no help is ever sent or received;
+//                on a lossless fabric, helps received equal helps sent;
+//                under faults, received <= sent (drops lose hints, never
+//                semantics).
+//
+// An empty return means the run conforms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "modelcheck/explorer.hpp"
+#include "modelcheck/oracle.hpp"
+#include "modelcheck/scenario.hpp"
+
+namespace ccf::modelcheck {
+
+std::vector<std::string> check_conformance(const Scenario& s, const Observation& obs);
+
+/// Convenience: run + check. A run that threw contributes its exception
+/// text as the single violation.
+struct CheckedRun {
+  Observation obs;
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+CheckedRun check_scenario(const Scenario& s);
+
+}  // namespace ccf::modelcheck

@@ -1,0 +1,141 @@
+#include "modelcheck/explorer.hpp"
+
+#include <memory>
+
+#include "core/system.hpp"
+#include "transport/fault.hpp"
+#include "transport/latency.hpp"
+
+namespace ccf::modelcheck {
+
+namespace {
+
+using core::Config;
+using core::ConnectionSpec;
+using core::CoupledSystem;
+using core::CouplingRuntime;
+using core::FrameworkOptions;
+using core::ProgramSpec;
+using dist::BlockDecomposition;
+using dist::DistArray2D;
+using transport::FaultInjector;
+using transport::FaultPlan;
+
+/// Only the control plane is faulted (as in the chaos harness): the
+/// failure-tolerance protocol recovers control losses end-to-end, while
+/// payload reassembly is not the subject under test.
+bool control_plane_only(transport::ProcId, transport::ProcId, transport::Tag tag) {
+  return tag >= core::kTagImportRequest && tag < core::kTagDataBase;
+}
+
+FrameworkOptions framework_options(const Scenario& s) {
+  FrameworkOptions fw;
+  fw.buddy_help = s.buddy_help;
+  fw.trace = true;  // structured events are the conformance observable
+  if (s.faults.enabled) {
+    fw.retry_timeout_seconds = 0.05;
+    fw.retry_backoff_factor = 2.0;
+    fw.max_retries = 64;
+    fw.heartbeat_interval_seconds = 0.5;
+    fw.departure_timeout_seconds = 10.0;
+  }
+  return fw;
+}
+
+}  // namespace
+
+Observation run_scenario(const Scenario& s) {
+  Config config;
+  config.add_program(ProgramSpec{"E", "h", "/e", s.exporter_procs, {}});
+  config.add_program(ProgramSpec{"I", "h", "/i", s.importer_procs, {}});
+  config.add_connection(ConnectionSpec{"E", "r", "I", "r", s.policy, s.tolerance, {}});
+
+  runtime::ClusterOptions cluster_options;
+  cluster_options.mode = runtime::ExecutionMode::VirtualTime;
+  cluster_options.latency = std::make_shared<const transport::FixedLatency>(s.latency_seconds);
+  // Scenarios are tiny (<= a few thousand protocol messages); anything in
+  // the millions is a livelock. Bounding it keeps shrink candidates from
+  // spinning for minutes — they throw and count as a failing run instead.
+  cluster_options.max_events = 2'000'000;
+  std::shared_ptr<FaultInjector> faults;
+  if (s.faults.enabled) {
+    FaultPlan plan;
+    plan.seed = s.faults.seed;
+    plan.drop_prob = s.faults.drop_prob;
+    plan.duplicate_prob = s.faults.duplicate_prob;
+    plan.delay_prob = s.faults.delay_prob;
+    plan.delay_min_seconds = s.faults.delay_min_seconds;
+    plan.delay_max_seconds = s.faults.delay_max_seconds;
+    plan.eligible = control_plane_only;
+    faults = std::make_shared<FaultInjector>(plan);
+    cluster_options.faults = faults;
+  }
+  CoupledSystem system(config, cluster_options, framework_options(s));
+
+  const auto rows = static_cast<dist::Index>(s.rows);
+  const auto cols = static_cast<dist::Index>(s.cols);
+  const auto e_decomp = BlockDecomposition::make_grid(rows, cols, s.exporter_procs);
+  const auto i_decomp = BlockDecomposition::make_grid(rows, cols, s.importer_procs);
+
+  system.set_program_body("E", [&](CouplingRuntime& rt, runtime::ProcessContext& ctx) {
+    rt.define_export_region("r", e_decomp);
+    rt.commit();
+    DistArray2D<double> data(e_decomp, rt.rank());
+    const double step = s.exporter_step_seconds[static_cast<std::size_t>(rt.rank())];
+    for (Timestamp t : s.exports) {
+      ctx.compute(step);
+      // The payload carries the version so the importer can verify the
+      // shipped snapshot is exactly the matched one.
+      data.fill([&](dist::Index, dist::Index) { return t; });
+      rt.export_region("r", t, data);
+    }
+    rt.finalize();
+  });
+
+  Observation obs;
+  obs.importer_answers.resize(static_cast<std::size_t>(s.importer_procs));
+  system.set_program_body("I", [&](CouplingRuntime& rt, runtime::ProcessContext& ctx) {
+    rt.define_import_region("r", i_decomp);
+    rt.commit();
+    DistArray2D<double> data(i_decomp, rt.rank());
+    auto& answers = obs.importer_answers[static_cast<std::size_t>(rt.rank())];
+    const double step = s.importer_step_seconds[static_cast<std::size_t>(rt.rank())];
+    for (Timestamp x : s.requests) {
+      ctx.compute(step);
+      const auto status = rt.import_region("r", x, data);
+      RankAnswer a;
+      a.matched = status.ok();
+      if (a.matched) {
+        a.version = status.matched;
+        a.payload = data.data()[0];
+      }
+      answers.push_back(a);
+    }
+    rt.finalize();
+  });
+
+  try {
+    system.run();
+    obs.completed = true;
+  } catch (const std::exception& e) {
+    obs.error = e.what();
+    return obs;  // stats/traces are unreliable after a failed run
+  }
+
+  for (int r = 0; r < s.exporter_procs; ++r) {
+    obs.exporter_stats.push_back(system.proc_stats("E", r));
+    obs.exporter_events.push_back(system.trace_events("E", r, "r"));
+  }
+  for (int r = 0; r < s.importer_procs; ++r) {
+    obs.importer_stats.push_back(system.proc_stats("I", r));
+  }
+  obs.exporter_rep = system.rep_result("E");
+  obs.importer_rep = system.rep_result("I");
+  if (faults) {
+    const auto fs = faults->stats();
+    obs.faults_injected = fs.dropped + fs.duplicated + fs.delayed;
+  }
+  return obs;
+}
+
+}  // namespace ccf::modelcheck

@@ -1,0 +1,50 @@
+// Schedule explorer: drives the real coupled system through a Scenario
+// under the deterministic virtual-time executor and collects every
+// observable the conformance checker needs.
+//
+// One run builds a two-program system (exporter "E", importer "I", one
+// connection "r"), installs SPMD bodies whose per-rank compute times come
+// from the Scenario, optionally wires a seeded FaultInjector into the
+// fabric, runs to completion, and returns per-rank answers (with the
+// shipped payload version), per-rank stats, structured exporter trace
+// events, and both rep results. Exceptions (protocol violations,
+// deadlocks, timeouts) are captured into the Observation rather than
+// thrown: a crash is a conformance failure like any other, and must
+// shrink and replay the same way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rep.hpp"
+#include "core/stats.hpp"
+#include "core/trace.hpp"
+#include "modelcheck/scenario.hpp"
+
+namespace ccf::modelcheck {
+
+/// One importer rank's outcome for one request.
+struct RankAnswer {
+  bool matched = false;
+  Timestamp version = 0;  ///< matched timestamp (valid when matched)
+  double payload = 0;     ///< first element of the received block (valid when matched)
+};
+
+struct Observation {
+  bool completed = false;  ///< run() returned without throwing
+  std::string error;       ///< exception text when !completed
+
+  std::vector<std::vector<RankAnswer>> importer_answers;  ///< [rank][request]
+  std::vector<core::ProcStats> exporter_stats;            ///< [rank]
+  std::vector<core::ProcStats> importer_stats;            ///< [rank]
+  std::vector<std::vector<core::TraceEvent>> exporter_events;  ///< [rank], region "r"
+  core::RepResult exporter_rep;
+  core::RepResult importer_rep;
+  std::uint64_t faults_injected = 0;
+};
+
+/// Runs the Scenario once. Deterministic: identical scenarios produce
+/// identical observations (virtual time + seeded faults).
+Observation run_scenario(const Scenario& s);
+
+}  // namespace ccf::modelcheck

@@ -1,0 +1,48 @@
+#include "modelcheck/harness.hpp"
+
+#include <sstream>
+
+namespace ccf::modelcheck {
+
+CheckedRun replay_seed(std::uint64_t seed) { return check_scenario(generate_scenario(seed)); }
+
+std::string failure_message(std::uint64_t seed, const Scenario& shrunk, const CheckedRun& run,
+                            int shrink_attempts) {
+  std::ostringstream os;
+  os << "modelcheck: seed " << seed << " does not conform (" << run.violations.size()
+     << " violation" << (run.violations.size() == 1 ? "" : "s");
+  if (shrink_attempts > 0) os << " after shrinking, " << shrink_attempts << " attempts";
+  os << ")\n";
+  for (const std::string& v : run.violations) os << "  violation: " << v << "\n";
+  os << "  scenario:  " << describe(shrunk) << "\n";
+  os << "  replay:    modelcheck_explore --replay=" << seed << "\n";
+  os << "  replay:    CCF_MC_REPLAY=" << seed << " ctest -R modelcheck_conformance\n";
+  return os.str();
+}
+
+ExploreResult explore(const ExploreOptions& options) {
+  ExploreResult result;
+  for (int i = 0; i < options.runs; ++i) {
+    const std::uint64_t seed = options.seed0 + static_cast<std::uint64_t>(i);
+    const Scenario scenario = generate_scenario(seed);
+    CheckedRun run = check_scenario(scenario);
+    ++result.runs;
+    if (run.ok()) continue;
+
+    result.ok = false;
+    result.failing_seed = seed;
+    int attempts = 0;
+    Scenario reported = scenario;
+    if (options.shrink_failures) {
+      ShrinkResult s = shrink(scenario, run, options.max_shrink_attempts);
+      reported = s.scenario;
+      run = s.run;
+      attempts = s.attempts;
+    }
+    result.failure_message = failure_message(seed, reported, run, attempts);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace ccf::modelcheck

@@ -1,0 +1,47 @@
+// The explore loop: generate -> run -> check -> (on failure) shrink ->
+// report, over a contiguous block of seeds.
+//
+// Exploration stops at the first non-conforming seed. The failure message
+// is self-contained: it names the violated checks, prints the shrunk
+// scenario in describe() form, and always embeds the exact replay
+// commands (`modelcheck_explore --replay=<seed>` and
+// `CCF_MC_REPLAY=<seed>` for the gtest runner), so any failure seen in CI
+// reproduces locally from the message alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "modelcheck/conformance.hpp"
+#include "modelcheck/scenario.hpp"
+#include "modelcheck/shrink.hpp"
+
+namespace ccf::modelcheck {
+
+struct ExploreOptions {
+  std::uint64_t seed0 = 1;       ///< first seed; seeds seed0..seed0+runs-1
+  int runs = 500;
+  bool shrink_failures = true;
+  int max_shrink_attempts = 250;
+};
+
+struct ExploreResult {
+  int runs = 0;                 ///< scenarios executed (<= options.runs on failure)
+  bool ok = true;
+  std::uint64_t failing_seed = 0;
+  std::string failure_message;  ///< empty when ok; contains "--replay=<seed>"
+};
+
+/// Checks one seed end-to-end (generate + run + conformance).
+CheckedRun replay_seed(std::uint64_t seed);
+
+/// Runs the explore loop; returns on the first failure or after `runs`
+/// conforming scenarios.
+ExploreResult explore(const ExploreOptions& options);
+
+/// Formats the failure report for a non-conforming seed (used by explore
+/// and by the gtest wrapper so both print identical reproductions).
+std::string failure_message(std::uint64_t seed, const Scenario& shrunk,
+                            const CheckedRun& run, int shrink_attempts);
+
+}  // namespace ccf::modelcheck

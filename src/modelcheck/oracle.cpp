@@ -1,0 +1,55 @@
+#include "modelcheck/oracle.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace ccf::modelcheck {
+
+bool OracleResult::is_match(Timestamp t) const {
+  return std::binary_search(minimal_copies.begin(), minimal_copies.end(), t);
+}
+
+OracleResult run_oracle(const std::vector<Timestamp>& exports,
+                        const std::vector<Timestamp>& requests, MatchPolicy policy,
+                        double tolerance) {
+  CCF_REQUIRE(tolerance >= 0, "oracle tolerance must be >= 0, got " << tolerance);
+  for (std::size_t i = 1; i < exports.size(); ++i) {
+    CCF_REQUIRE(exports[i] > exports[i - 1], "oracle exports must be strictly increasing: "
+                                                 << exports[i] << " after " << exports[i - 1]);
+  }
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    CCF_REQUIRE(requests[i] > requests[i - 1],
+                "oracle requests must be strictly increasing: " << requests[i] << " after "
+                                                                << requests[i - 1]);
+  }
+
+  OracleResult out;
+  // Last successful match; later matches must lie strictly above it
+  // (the implementation's prune_through after a consumed match).
+  Timestamp consumed = core::kNeverExported;
+  for (Timestamp x : requests) {
+    OracleAnswer answer;
+    answer.region = core::acceptable_region(policy, x, tolerance);
+    std::optional<Timestamp> best;
+    for (Timestamp t : exports) {
+      if (t <= consumed || !answer.region.contains(t)) continue;
+      if (!best || core::better_match(t, *best, x)) best = t;
+    }
+    if (best) {
+      answer.result = MatchResult::Match;
+      answer.matched = *best;
+      consumed = *best;
+      out.minimal_copies.push_back(*best);
+    }
+    out.answers.push_back(answer);
+  }
+  // minimal_copies is ascending by construction (matches increase).
+  for (Timestamp t : exports) {
+    if (!out.is_match(t)) out.skippable.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace ccf::modelcheck

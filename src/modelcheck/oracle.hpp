@@ -1,0 +1,68 @@
+// Sequential executable specification of the coupling protocol's matching
+// semantics (paper §3.1, §4, Eq. 1–2).
+//
+// The distributed implementation spreads the approximate-matching decision
+// across exporter processes, a rep aggregator, buddy-help forwarding, and
+// buffering state machines. The oracle collapses all of that into ~100
+// lines of obviously-correct sequential code: given the collective export
+// timestamp sequence and the import request sequence of one connection, it
+// computes
+//   * the exact MATCH / NO-MATCH answer of every request (final answers
+//     are always decisive because the exporter finalizes at end-of-run;
+//     PENDING is a transient the protocol must resolve, never an outcome),
+//   * the minimal buffering set — the versions ANY conforming
+//     implementation must memcpy, namely exactly the matched timestamps
+//     (a match must be snapshotted to be shipped), and
+//   * the maximal buddy-help skip set — every other export, which a
+//     perfectly informed process (one that learns each answer before
+//     producing the data, the buddy-help ideal of §4.1) never buffers.
+//
+// Rules (the paper's semantics, as also asserted by the integration
+// oracle test):
+//   m_k = the export inside acceptable_region(policy, x_k, tol) closest
+//         to x_k (ties prefer the later timestamp), among exports
+//         strictly greater than the last successful match m_{k-1}
+//         (consumption monotonicity: prune_through), or NO MATCH if no
+//         such export exists.
+//
+// The conformance checker (conformance.hpp) compares every observable of
+// a real run — importer answers, rep answer log, per-rank copy/skip/ship
+// trace events, buffer lifetimes — against this oracle.
+#pragma once
+
+#include <vector>
+
+#include "core/match_policy.hpp"
+#include "core/matcher.hpp"
+#include "core/timestamp.hpp"
+
+namespace ccf::modelcheck {
+
+using core::Interval;
+using core::MatchPolicy;
+using core::MatchResult;
+using core::Timestamp;
+
+struct OracleAnswer {
+  MatchResult result = core::MatchResult::NoMatch;
+  Timestamp matched = core::kNeverExported;  ///< valid when result == Match
+  Interval region;                           ///< the request's acceptable region
+};
+
+struct OracleResult {
+  std::vector<OracleAnswer> answers;       ///< one per request, in order
+  std::vector<Timestamp> minimal_copies;   ///< matched timestamps, ascending
+  std::vector<Timestamp> skippable;        ///< exports - matches, ascending
+
+  bool is_match(Timestamp t) const;  ///< t in minimal_copies?
+};
+
+/// Computes the oracle for one connection. `exports` and `requests` must
+/// be strictly increasing (the framework enforces the same of the real
+/// system); `tolerance` must be >= 0. Throws util::InvalidArgument
+/// otherwise.
+OracleResult run_oracle(const std::vector<Timestamp>& exports,
+                        const std::vector<Timestamp>& requests, MatchPolicy policy,
+                        double tolerance);
+
+}  // namespace ccf::modelcheck

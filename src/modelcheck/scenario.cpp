@@ -1,0 +1,92 @@
+#include "modelcheck/scenario.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace ccf::modelcheck {
+
+Scenario generate_scenario(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed ^ 0x6d6f64656c636b31ULL);  // decorrelate from fault seeds
+  Scenario s;
+  s.seed = seed;
+
+  switch (rng.below(3)) {
+    case 0: s.policy = MatchPolicy::REGL; break;
+    case 1: s.policy = MatchPolicy::REGU; break;
+    default: s.policy = MatchPolicy::REG; break;
+  }
+  // Tolerance regimes: exact matching (boundary behaviour), the paper's
+  // moderate windows, and wide overlapping regions (request stride below
+  // the tolerance exercises the deferred low-water / superseding paths).
+  const double tol_mode = rng.uniform();
+  if (tol_mode < 0.1) s.tolerance = 0;
+  else if (tol_mode < 0.85) s.tolerance = rng.uniform(0.2, 3.0);
+  else s.tolerance = rng.uniform(3.0, 8.0);
+
+  s.exporter_procs = 1 + static_cast<int>(rng.below(4));
+  s.importer_procs = 1 + static_cast<int>(rng.below(4));
+
+  // Export sequence: random positive strides; ~4% of scenarios export
+  // nothing at all (every request then resolves at finalize).
+  const std::size_t n_exports = rng.uniform() < 0.04 ? 0 : 2 + rng.below(23);
+  Timestamp t = rng.uniform(0.1, 2.0);
+  for (std::size_t i = 0; i < n_exports; ++i) {
+    s.exports.push_back(t);
+    t += rng.uniform(0.05, 2.0);
+  }
+
+  // Request sequence: strides chosen so requests sometimes trail, overlap,
+  // and overshoot the export span; ~8% of scenarios never import.
+  const std::size_t n_requests = rng.uniform() < 0.08 ? 0 : 1 + rng.below(8);
+  Timestamp x = rng.uniform(0.2, 3.0);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    s.requests.push_back(x);
+    x += rng.uniform(0.2, 3.0);
+  }
+
+  // Per-rank compute speeds spanning ~2 orders of magnitude: slow ranks
+  // answer PENDING while fast ranks decide, producing the PENDING+MATCH /
+  // PENDING+NO-MATCH aggregates buddy-help exists for.
+  for (int r = 0; r < s.exporter_procs; ++r) {
+    s.exporter_step_seconds.push_back(std::pow(10.0, rng.uniform(-5.0, -2.5)));
+  }
+  for (int r = 0; r < s.importer_procs; ++r) {
+    s.importer_step_seconds.push_back(std::pow(10.0, rng.uniform(-5.0, -2.5)));
+  }
+
+  s.buddy_help = rng.uniform() >= 0.2;
+
+  if (rng.uniform() < 0.5) {
+    s.faults.enabled = true;
+    s.faults.seed = seed * 0x9e3779b97f4a7c15ULL + 1;
+    s.faults.drop_prob = rng.uniform(0, 0.12);
+    s.faults.duplicate_prob = rng.uniform(0, 0.12);
+    s.faults.delay_prob = rng.uniform(0, 0.12);
+    s.faults.delay_min_seconds = 0.02;
+    s.faults.delay_max_seconds = 0.2;
+  }
+  return s;
+}
+
+std::string describe(const Scenario& s) {
+  std::ostringstream os;
+  os << "seed=" << s.seed << " policy=" << core::to_string(s.policy) << " tol=" << s.tolerance
+     << " eprocs=" << s.exporter_procs << " iprocs=" << s.importer_procs
+     << " buddy_help=" << (s.buddy_help ? 1 : 0);
+  os << " exports=[";
+  for (std::size_t i = 0; i < s.exports.size(); ++i) os << (i ? " " : "") << s.exports[i];
+  os << "] requests=[";
+  for (std::size_t i = 0; i < s.requests.size(); ++i) os << (i ? " " : "") << s.requests[i];
+  os << "]";
+  if (s.faults.enabled) {
+    os << " faults{seed=" << s.faults.seed << " drop=" << s.faults.drop_prob
+       << " dup=" << s.faults.duplicate_prob << " delay=" << s.faults.delay_prob << "}";
+  } else {
+    os << " faults=none";
+  }
+  return os.str();
+}
+
+}  // namespace ccf::modelcheck

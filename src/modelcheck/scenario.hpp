@@ -1,0 +1,70 @@
+// Randomized coupling scenarios for the model-checking harness.
+//
+// A Scenario is a complete, self-contained description of one coupled
+// run: match policy and tolerance, rank counts on both sides, the
+// collective export and request timestamp sequences, per-rank compute
+// speeds (the knob that produces fast/slow rank mixtures and therefore
+// PENDING+MATCH aggregates and buddy-help traffic), buddy-help on/off,
+// and an optional control-plane fault schedule (PR 1's FaultInjector).
+//
+// generate_scenario(seed) is a pure function: the same seed always yields
+// the same Scenario, and virtual-time execution makes the run of a
+// Scenario deterministic — so a failing seed printed by the harness
+// replays byte-for-byte (--replay=<seed> on the modelcheck_explore tool,
+// or CCF_MC_REPLAY=<seed> on the conformance test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/match_policy.hpp"
+#include "core/timestamp.hpp"
+
+namespace ccf::modelcheck {
+
+using core::MatchPolicy;
+using core::Timestamp;
+
+struct FaultSpec {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  double drop_prob = 0;
+  double duplicate_prob = 0;
+  double delay_prob = 0;
+  double delay_min_seconds = 0;
+  double delay_max_seconds = 0;
+};
+
+struct Scenario {
+  std::uint64_t seed = 0;  ///< generator seed (0 for hand-built scenarios)
+  MatchPolicy policy = core::MatchPolicy::REGL;
+  double tolerance = 0;
+  int exporter_procs = 1;
+  int importer_procs = 1;
+  std::vector<Timestamp> exports;   ///< strictly increasing
+  std::vector<Timestamp> requests;  ///< strictly increasing
+  /// Per-rank seconds of compute before each export/import call; the
+  /// spread across ranks drives the interleaving.
+  std::vector<double> exporter_step_seconds;
+  std::vector<double> importer_step_seconds;
+  bool buddy_help = true;
+  FaultSpec faults;
+  /// Problem geometry (kept small: the harness checks protocol semantics,
+  /// not bandwidth).
+  long rows = 6;
+  long cols = 6;
+  double latency_seconds = 1e-3;
+};
+
+/// Deterministically derives a Scenario from a seed: mixed policies,
+/// 1–4 ranks per side, 0–24 exports, 0–8 requests, tolerances from exact
+/// (0) to region-overlapping, ~50% of scenarios with a seeded
+/// control-plane fault schedule, ~20% with buddy-help disabled.
+Scenario generate_scenario(std::uint64_t seed);
+
+/// One-line human-readable form, printed in failure messages so a shrunk
+/// scenario can be read (and re-typed as a hand-built regression test).
+std::string describe(const Scenario& s);
+
+}  // namespace ccf::modelcheck

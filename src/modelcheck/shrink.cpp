@@ -1,0 +1,123 @@
+#include "modelcheck/shrink.hpp"
+
+#include <algorithm>
+
+namespace ccf::modelcheck {
+
+namespace {
+
+/// Scenario-size metric the shrinker drives downward: event-list length
+/// first, then rank count, then fault machinery.
+std::size_t weight(const Scenario& s) {
+  return s.exports.size() + s.requests.size() +
+         static_cast<std::size_t>(s.exporter_procs + s.importer_procs) +
+         (s.faults.enabled ? 1 : 0) + (s.buddy_help ? 1 : 0);
+}
+
+struct Search {
+  ShrinkResult best;
+  int budget;
+
+  /// Runs the candidate; adopts it as the new best if it still fails and
+  /// is no heavier. Returns true when adopted.
+  bool try_candidate(const Scenario& candidate) {
+    if (budget <= 0) return false;
+    --budget;
+    ++best.attempts;
+    CheckedRun run = check_scenario(candidate);
+    if (run.ok() || weight(candidate) > weight(best.scenario)) return false;
+    best.scenario = candidate;
+    best.run = std::move(run);
+    return true;
+  }
+};
+
+void structural_passes(Search& search) {
+  {
+    Scenario c = search.best.scenario;
+    if (c.faults.enabled) {
+      c.faults = FaultSpec{};
+      search.try_candidate(c);
+    }
+  }
+  {
+    Scenario c = search.best.scenario;
+    if (c.exporter_procs > 1) {
+      c.exporter_procs = 1;
+      c.exporter_step_seconds.resize(1);
+      search.try_candidate(c);
+    }
+  }
+  {
+    Scenario c = search.best.scenario;
+    if (c.importer_procs > 1) {
+      c.importer_procs = 1;
+      c.importer_step_seconds.resize(1);
+      search.try_candidate(c);
+    }
+  }
+  {
+    Scenario c = search.best.scenario;
+    std::fill(c.exporter_step_seconds.begin(), c.exporter_step_seconds.end(), 1e-4);
+    std::fill(c.importer_step_seconds.begin(), c.importer_step_seconds.end(), 1e-4);
+    if (c.exporter_step_seconds != search.best.scenario.exporter_step_seconds ||
+        c.importer_step_seconds != search.best.scenario.importer_step_seconds) {
+      search.try_candidate(c);
+    }
+  }
+  {
+    Scenario c = search.best.scenario;
+    if (c.buddy_help) {
+      c.buddy_help = false;
+      search.try_candidate(c);
+    }
+  }
+}
+
+/// Chunked ddmin over one timestamp list (selected by `get`). Dropping a
+/// contiguous chunk always preserves strict monotonicity.
+void ddmin_list(Search& search, std::vector<Timestamp> Scenario::* list) {
+  for (std::size_t chunk = std::max<std::size_t>(1, (search.best.scenario.*list).size() / 2);
+       chunk >= 1; chunk /= 2) {
+    bool removed = true;
+    while (removed && search.budget > 0) {
+      removed = false;
+      const std::size_t n = (search.best.scenario.*list).size();
+      for (std::size_t start = 0; start + chunk <= n && search.budget > 0; ++start) {
+        Scenario c = search.best.scenario;
+        auto& v = c.*list;
+        if (start + chunk > v.size()) break;
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(start),
+                v.begin() + static_cast<std::ptrdiff_t>(start + chunk));
+        if (search.try_candidate(c)) {
+          removed = true;
+          break;  // restart the scan against the new, shorter best
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& original, const CheckedRun& first, int max_attempts) {
+  Search search;
+  search.best.scenario = original;
+  search.best.run = first;
+  search.budget = max_attempts;
+
+  structural_passes(search);
+  ddmin_list(search, &Scenario::exports);
+  ddmin_list(search, &Scenario::requests);
+  // Structural reductions often unlock further list removals (and vice
+  // versa), so run one more combined round if budget remains.
+  if (search.budget > 0) {
+    structural_passes(search);
+    ddmin_list(search, &Scenario::exports);
+    ddmin_list(search, &Scenario::requests);
+  }
+  return search.best;
+}
+
+}  // namespace ccf::modelcheck

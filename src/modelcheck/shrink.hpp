@@ -1,0 +1,38 @@
+// Greedy input shrinking (delta debugging over Scenario structure).
+//
+// Given a failing scenario, shrink() searches for a smaller scenario that
+// still fails conformance, so the failure message the harness prints is a
+// minimal human-readable reproduction rather than a 25-export fault soup.
+//
+// The search is deterministic and purely reductive:
+//   1. structural passes — disable faults, collapse to one exporter /
+//      one importer rank, flatten per-rank compute steps to a uniform
+//      value, toggle buddy-help off; each kept only if the scenario still
+//      fails;
+//   2. list minimization — chunked ddmin over the export and request
+//      sequences (drop halves, then quarters, ... then single elements),
+//      keeping every removal that preserves the failure.
+//
+// Every candidate costs one full virtual-time run, so attempts are capped;
+// the best scenario found so far is returned when the budget runs out.
+#pragma once
+
+#include <cstdint>
+
+#include "modelcheck/conformance.hpp"
+#include "modelcheck/scenario.hpp"
+
+namespace ccf::modelcheck {
+
+struct ShrinkResult {
+  Scenario scenario;   ///< smallest failing scenario found
+  CheckedRun run;      ///< its (failing) checked run
+  int attempts = 0;    ///< candidate runs spent
+};
+
+/// Shrinks a failing scenario. `original` must fail check_scenario (the
+/// caller has already paid for that run and passes it in as `first`).
+ShrinkResult shrink(const Scenario& original, const CheckedRun& first,
+                    int max_attempts = 250);
+
+}  // namespace ccf::modelcheck

@@ -2,6 +2,7 @@
 // the selected execution mode, and propagates the first failure.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "runtime/process_context.hpp"
@@ -20,6 +21,11 @@ struct ClusterOptions {
   CopyCostModel copy_cost = CopyCostModel::pentium4_preset();
   /// Optional seeded fault injector applied to every send (both modes).
   std::shared_ptr<transport::FaultInjector> faults;
+  /// Livelock guard for VirtualTime mode: the run throws once this many
+  /// events have been processed. Harnesses that execute many short runs
+  /// (model checking, shrinking) set a small bound so a livelocked
+  /// scenario surfaces as a fast failure instead of an apparent hang.
+  std::uint64_t max_events = 500'000'000;
 };
 
 class Cluster {

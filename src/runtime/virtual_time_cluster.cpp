@@ -56,7 +56,7 @@ class VirtualContext final : public ProcessContext {
 VirtualTimeCluster::VirtualTimeCluster(ClusterOptions options)
     : options_(std::move(options)),
       cluster_(simtime::VirtualCluster::Options{options_.latency, options_.faults,
-                                                500'000'000}) {}
+                                                options_.max_events}) {}
 
 void VirtualTimeCluster::add_process(ProcId id, ProcessBody body) {
   CCF_REQUIRE(!ran_, "cannot add processes after run()");

@@ -87,7 +87,9 @@ class Reader {
     const auto n = get<std::uint64_t>();
     check_remaining(n * sizeof(T));
     std::vector<T> v(n);
-    std::memcpy(v.data(), payload_->data() + offset_, n * sizeof(T));
+    // n == 0 leaves v.data() null; memcpy's arguments must be non-null
+    // even for zero sizes.
+    if (n != 0) std::memcpy(v.data(), payload_->data() + offset_, n * sizeof(T));
     offset_ += n * sizeof(T);
     return v;
   }

@@ -2,8 +2,11 @@
 // PENDING semantics, pruning/clip behaviour, end-of-stream.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/matcher.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace ccf::core {
 namespace {
@@ -238,6 +241,137 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, MatcherProperty,
                          [](const ::testing::TestParamInfo<MatchPolicy>& info) {
                            return to_string(info.param);
                          });
+
+// Regression: NO_MATCH for REGU/REG is not decidable just because exports
+// reached the requested timestamp — the region extends above the request,
+// so a later export can still land inside it. (Found by the model-checking
+// harness: a slow rank that had consumed its last candidate answered a
+// premature NO_MATCH while its peers matched a later export.)
+TEST(Matcher, ReguUndecidableWhileRegionUpperEdgeUnreached) {
+  auto h = history_with({7.5});
+  h.prune_through(7.5);  // consumed by an earlier request; no candidates left
+  const MatchQuery q{6.75, MatchPolicy::REGU, 2.33};  // region [6.75, 9.08]
+  EXPECT_EQ(h.evaluate(q).result, MatchResult::Pending);
+  h.record(8.23);  // lands inside the region -> the answer was not NO_MATCH
+  const MatchAnswer a = h.evaluate(q);
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 8.23);
+}
+
+TEST(Matcher, RegNoMatchOnlyOncePastRegionUpperEdge) {
+  auto h = history_with({19.0, 20.1});
+  h.prune_through(20.1);
+  const MatchQuery q{20.3, MatchPolicy::REG, 0.5};  // region [19.8, 20.8]
+  EXPECT_EQ(h.evaluate(q).result, MatchResult::Pending);
+  h.record(20.9);  // past the upper edge, nothing can arrive in the region
+  EXPECT_EQ(h.evaluate(q).result, MatchResult::NoMatch);
+}
+
+TEST(Matcher, RegBelowBestDecisiveAtMirrorPoint) {
+  // Best 19.0 sits 1.0 below the request; an export at distance <= 1.0
+  // above (i.e. up to 21.0) would win the closer-then-later rule. Latest
+  // 21.5 is past that mirror point, so 19.0 is final well before the
+  // region's upper edge (25.0).
+  auto h = history_with({19.0, 21.5});
+  const MatchAnswer a = h.evaluate({20.0, MatchPolicy::REG, 5.0});
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 19.0);
+}
+
+TEST(Matcher, RegBelowBestPendingBeforeMirrorPoint) {
+  auto h = history_with({19.0});
+  const MatchQuery q{20.0, MatchPolicy::REG, 5.0};
+  EXPECT_EQ(h.evaluate(q).result, MatchResult::Pending);  // 20.9 could still come
+  h.record(20.4);  // closer than 19.0 -> becomes the match
+  const MatchAnswer a = h.evaluate(q);
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 20.4);
+}
+
+// Property sweeps over random export streams: the policy-region
+// invariants of Eq. 1-2 and monotonicity in the tolerance.
+struct RandomStream {
+  ExportHistory history;
+  std::vector<Timestamp> all;
+};
+
+RandomStream random_stream(util::Xoshiro256& rng) {
+  RandomStream s;
+  Timestamp t = 0;
+  const int n = 1 + static_cast<int>(rng.below(30));
+  for (int i = 0; i < n; ++i) {
+    t += rng.uniform(0.05, 2.0);
+    s.history.record(t);
+    s.all.push_back(t);
+  }
+  s.history.finalize();  // every evaluation below is decisive
+  return s;
+}
+
+TEST(MatcherPropertySweep, ReglMatchesNeverAboveRequestAndWithinTolerance) {
+  util::Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto s = random_stream(rng);
+    const double x = rng.uniform(0.0, 35.0);
+    const double tol = rng.uniform(0.0, 5.0);
+    const MatchAnswer a = s.history.evaluate({x, MatchPolicy::REGL, tol});
+    if (a.result != MatchResult::Match) continue;
+    EXPECT_LE(a.matched, x);
+    EXPECT_GE(a.matched, x - tol);
+  }
+}
+
+TEST(MatcherPropertySweep, ReguMatchesNeverBelowRequestAndWithinTolerance) {
+  util::Xoshiro256 rng(2027);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto s = random_stream(rng);
+    const double x = rng.uniform(0.0, 35.0);
+    const double tol = rng.uniform(0.0, 5.0);
+    const MatchAnswer a = s.history.evaluate({x, MatchPolicy::REGU, tol});
+    if (a.result != MatchResult::Match) continue;
+    EXPECT_GE(a.matched, x);
+    EXPECT_LE(a.matched, x + tol);
+  }
+}
+
+TEST(MatcherPropertySweep, RegMatchIsNearestWithinTolerance) {
+  util::Xoshiro256 rng(2028);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto s = random_stream(rng);
+    const double x = rng.uniform(0.0, 35.0);
+    const double tol = rng.uniform(0.0, 5.0);
+    const MatchAnswer a = s.history.evaluate({x, MatchPolicy::REG, tol});
+    if (a.result != MatchResult::Match) {
+      for (Timestamp t : s.all) EXPECT_GT(std::abs(t - x), tol);
+      continue;
+    }
+    EXPECT_LE(std::abs(a.matched - x), tol);
+    for (Timestamp t : s.all) {
+      // Nothing in the stream is strictly closer, and on a distance tie
+      // the match is the later timestamp.
+      EXPECT_FALSE(better_match(t, a.matched, x)) << t << " beats " << a.matched;
+    }
+  }
+}
+
+TEST(MatcherPropertySweep, MatchingIsMonotoneInTolerance) {
+  // Widening the tolerance never loses a match and never worsens the
+  // distance to the request.
+  util::Xoshiro256 rng(2029);
+  for (MatchPolicy policy : {MatchPolicy::REGL, MatchPolicy::REGU, MatchPolicy::REG}) {
+    for (int trial = 0; trial < 150; ++trial) {
+      auto s = random_stream(rng);
+      const double x = rng.uniform(0.0, 35.0);
+      const double tol = rng.uniform(0.0, 4.0);
+      const double wider = tol + rng.uniform(0.0, 4.0);
+      const MatchAnswer narrow = s.history.evaluate({x, policy, tol});
+      const MatchAnswer wide = s.history.evaluate({x, policy, wider});
+      if (narrow.result != MatchResult::Match) continue;
+      ASSERT_EQ(wide.result, MatchResult::Match);
+      EXPECT_LE(std::abs(wide.matched - x), std::abs(narrow.matched - x));
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ccf::core

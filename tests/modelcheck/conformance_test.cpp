@@ -1,0 +1,122 @@
+// CI entry point of the model-checking harness: a block of random
+// scenarios must all conform to the sequential oracle, runs must be
+// deterministic (seed replay), and the conformance checker itself must
+// actually detect wrong observations.
+//
+// Reproducing a CI failure locally:
+//   CCF_MC_REPLAY=<seed> ctest -R modelcheck_conformance
+// re-checks exactly that seed (the failure message prints this command).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "modelcheck/harness.hpp"
+
+namespace ccf::modelcheck {
+namespace {
+
+TEST(ModelCheckConformance, FiveHundredRandomScenariosConform) {
+  if (const char* replay = std::getenv("CCF_MC_REPLAY")) {
+    const auto seed = static_cast<std::uint64_t>(std::strtoull(replay, nullptr, 10));
+    const Scenario scenario = generate_scenario(seed);
+    const CheckedRun run = check_scenario(scenario);
+    EXPECT_TRUE(run.ok()) << failure_message(seed, scenario, run, 0);
+    return;
+  }
+  ExploreOptions options;
+  options.seed0 = 1;
+  options.runs = 500;
+  const ExploreResult result = explore(options);
+  EXPECT_TRUE(result.ok) << result.failure_message;
+  EXPECT_EQ(result.runs, 500);
+}
+
+TEST(ModelCheckConformance, ScenarioGenerationIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 1082ull}) {
+    EXPECT_EQ(describe(generate_scenario(seed)), describe(generate_scenario(seed)));
+  }
+}
+
+TEST(ModelCheckConformance, RunReplayIsDeterministic) {
+  // Virtual time + seeded faults: two runs of the same scenario observe
+  // byte-identical answers. Seed 1082 exercises the fault path.
+  const Scenario s = generate_scenario(1082);
+  ASSERT_TRUE(s.faults.enabled);
+  const Observation a = run_scenario(s);
+  const Observation b = run_scenario(s);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  ASSERT_EQ(a.importer_answers.size(), b.importer_answers.size());
+  for (std::size_t rank = 0; rank < a.importer_answers.size(); ++rank) {
+    const auto& ra = a.importer_answers[rank];
+    const auto& rb = b.importer_answers[rank];
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].matched, rb[i].matched);
+      EXPECT_EQ(ra[i].version, rb[i].version);
+      EXPECT_EQ(ra[i].payload, rb[i].payload);
+    }
+  }
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+}
+
+Scenario hand_built() {
+  Scenario s;
+  s.policy = core::MatchPolicy::REG;
+  s.tolerance = 0.5;
+  s.exporter_procs = 2;
+  s.importer_procs = 2;
+  s.exports = {1.0, 2.0, 3.0, 4.0, 5.0};
+  s.requests = {2.1, 4.4};
+  s.exporter_step_seconds = {1e-4, 5e-3};  // one slow rank -> PENDING traffic
+  s.importer_step_seconds = {1e-4, 1e-4};
+  return s;
+}
+
+TEST(ModelCheckConformance, HandBuiltScenarioConforms) {
+  const Scenario s = hand_built();
+  const CheckedRun run = check_scenario(s);
+  EXPECT_TRUE(run.ok()) << failure_message(0, s, run, 0);
+}
+
+TEST(ModelCheckConformance, CheckerDetectsWrongAnswer) {
+  const Scenario s = hand_built();
+  Observation obs = run_scenario(s);
+  ASSERT_TRUE(obs.completed);
+  ASSERT_FALSE(obs.importer_answers.empty());
+  ASSERT_FALSE(obs.importer_answers[0].empty());
+  obs.importer_answers[0][0].matched = !obs.importer_answers[0][0].matched;
+  const auto violations = check_conformance(s, obs);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("answers"), std::string::npos) << violations[0];
+}
+
+TEST(ModelCheckConformance, CheckerDetectsWrongPayload) {
+  const Scenario s = hand_built();
+  Observation obs = run_scenario(s);
+  ASSERT_TRUE(obs.completed);
+  // Corrupt the shipped snapshot of the first matched answer.
+  for (auto& rank : obs.importer_answers) {
+    for (auto& a : rank) {
+      if (a.matched) {
+        a.payload += 1.0;
+        const auto violations = check_conformance(s, obs);
+        ASSERT_FALSE(violations.empty());
+        return;
+      }
+    }
+  }
+  FAIL() << "hand-built scenario produced no matches";
+}
+
+TEST(ModelCheckConformance, FailureMessageEmbedsReplayCommands) {
+  CheckedRun run;
+  run.violations.push_back("answers: synthetic violation");
+  const std::string msg = failure_message(7, generate_scenario(7), run, 3);
+  EXPECT_NE(msg.find("--replay=7"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("CCF_MC_REPLAY=7"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("synthetic violation"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace ccf::modelcheck

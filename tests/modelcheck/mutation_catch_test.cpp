@@ -1,0 +1,64 @@
+// Mutation-detection gate: with a deliberately wrong matcher (first
+// in-region export wins instead of closest-to-request), the harness must
+// catch the bug within a small seed block, shrink the reproduction, and
+// print a replayable seed. This is the end-to-end proof that the oracle
+// cross-check has teeth.
+//
+// CCF_MC_MUTATE_MATCHER is latched on first use inside the matcher, so it
+// must be set before any scenario runs; a static initializer guarantees
+// that. The mutation lives in its own test binary for the same reason —
+// every run in this process sees the mutated matcher.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "modelcheck/harness.hpp"
+#include "modelcheck/shrink.hpp"
+
+namespace ccf::modelcheck {
+namespace {
+
+const bool kMutationArmed = [] {
+  setenv("CCF_MC_MUTATE_MATCHER", "1", 1);
+  return true;
+}();
+
+ExploreResult explore_mutated() {
+  ExploreOptions options;
+  options.seed0 = 1;
+  options.runs = 100;
+  options.max_shrink_attempts = 200;
+  return explore(options);
+}
+
+TEST(MutationCatch, SeededMatcherMutationIsCaught) {
+  ASSERT_TRUE(kMutationArmed);
+  const ExploreResult result = explore_mutated();
+  ASSERT_FALSE(result.ok) << "a wrong matcher survived " << result.runs << " scenarios";
+  // The failure message alone must suffice to reproduce the bug.
+  EXPECT_NE(result.failure_message.find("--replay="), std::string::npos)
+      << result.failure_message;
+  EXPECT_NE(result.failure_message.find("CCF_MC_REPLAY="), std::string::npos)
+      << result.failure_message;
+  // And the printed seed really does replay to a failure.
+  EXPECT_FALSE(replay_seed(result.failing_seed).ok());
+}
+
+TEST(MutationCatch, FailureShrinksToASmallerScenario) {
+  const ExploreResult result = explore_mutated();
+  ASSERT_FALSE(result.ok);
+  const Scenario original = generate_scenario(result.failing_seed);
+  const CheckedRun first = check_scenario(original);
+  ASSERT_FALSE(first.ok());
+  const ShrinkResult shrunk = shrink(original, first, 200);
+  EXPECT_FALSE(shrunk.run.ok());  // shrinking preserves the failure
+  EXPECT_LE(shrunk.scenario.exports.size(), original.exports.size());
+  EXPECT_LE(shrunk.scenario.requests.size(), original.requests.size());
+  EXPECT_GT(shrunk.attempts, 0);
+  // The first-in-region mutation reproduces without any fault schedule,
+  // so shrinking must discard it.
+  EXPECT_FALSE(shrunk.scenario.faults.enabled);
+}
+
+}  // namespace
+}  // namespace ccf::modelcheck

@@ -1,0 +1,96 @@
+// The sequential oracle is the executable specification the whole
+// model-checking harness leans on, so it gets its own unit suite: paper
+// Eq. 1-2 matching per policy, consumption monotonicity, and the
+// minimal-copy / maximal-skip set algebra.
+#include <gtest/gtest.h>
+
+#include "modelcheck/oracle.hpp"
+#include "util/check.hpp"
+
+namespace ccf::modelcheck {
+namespace {
+
+TEST(ModelCheckOracle, ReglPicksClosestBelowOrAtRequest) {
+  const auto r = run_oracle({1.0, 2.0, 3.0, 4.0}, {2.6}, MatchPolicy::REGL, 1.0);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(r.answers[0].matched, 2.0);
+}
+
+TEST(ModelCheckOracle, ReguPicksClosestAtOrAboveRequest) {
+  const auto r = run_oracle({1.0, 2.0, 3.0, 4.0}, {2.6}, MatchPolicy::REGU, 1.0);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(r.answers[0].matched, 3.0);
+}
+
+TEST(ModelCheckOracle, RegPrefersLaterOnEquidistantTie) {
+  // 2.0 and 3.0 are both 0.5 from the request; the later one wins.
+  const auto r = run_oracle({2.0, 3.0}, {2.5}, MatchPolicy::REG, 1.0);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(r.answers[0].matched, 3.0);
+}
+
+TEST(ModelCheckOracle, NoMatchWhenRegionEmpty) {
+  const auto r = run_oracle({1.0, 9.0}, {5.0}, MatchPolicy::REG, 0.5);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].result, MatchResult::NoMatch);
+}
+
+TEST(ModelCheckOracle, ConsumptionMonotonicityExcludesConsumedExports) {
+  // Request 1 matches 2.0. Request 2's region still contains 2.0, but a
+  // consumed export may not match again -> 2.4.
+  const auto r = run_oracle({1.0, 2.0, 2.4}, {2.1, 2.2}, MatchPolicy::REG, 0.5);
+  ASSERT_EQ(r.answers.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.answers[0].matched, 2.0);
+  EXPECT_EQ(r.answers[1].result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(r.answers[1].matched, 2.4);
+}
+
+TEST(ModelCheckOracle, NoMatchDoesNotConsume) {
+  // Request 1 finds nothing; request 2 can still use the earliest export.
+  const auto r = run_oracle({5.0}, {1.0, 5.2}, MatchPolicy::REGL, 0.5);
+  ASSERT_EQ(r.answers.size(), 2u);
+  EXPECT_EQ(r.answers[0].result, MatchResult::NoMatch);
+  EXPECT_EQ(r.answers[1].result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(r.answers[1].matched, 5.0);
+}
+
+TEST(ModelCheckOracle, CopyAndSkipSetsPartitionTheExports) {
+  const std::vector<Timestamp> exports{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto r = run_oracle(exports, {2.1, 4.4}, MatchPolicy::REGL, 0.5);
+  // Matches are 2.0 and 4.0: the minimal copy set. Everything else is
+  // skippable by a perfectly informed exporter.
+  EXPECT_EQ(r.minimal_copies, (std::vector<Timestamp>{2.0, 4.0}));
+  EXPECT_EQ(r.skippable, (std::vector<Timestamp>{1.0, 3.0, 5.0}));
+  EXPECT_TRUE(r.is_match(2.0));
+  EXPECT_FALSE(r.is_match(3.0));
+  EXPECT_EQ(r.minimal_copies.size() + r.skippable.size(), exports.size());
+}
+
+TEST(ModelCheckOracle, EmptyInputs) {
+  const auto none = run_oracle({}, {1.0}, MatchPolicy::REG, 1.0);
+  ASSERT_EQ(none.answers.size(), 1u);
+  EXPECT_EQ(none.answers[0].result, MatchResult::NoMatch);
+  const auto quiet = run_oracle({1.0}, {}, MatchPolicy::REG, 1.0);
+  EXPECT_TRUE(quiet.answers.empty());
+  EXPECT_TRUE(quiet.minimal_copies.empty());
+  EXPECT_EQ(quiet.skippable, (std::vector<Timestamp>{1.0}));
+}
+
+TEST(ModelCheckOracle, RejectsInvalidInputs) {
+  EXPECT_THROW(run_oracle({2.0, 1.0}, {}, MatchPolicy::REG, 1.0), util::InvalidArgument);
+  EXPECT_THROW(run_oracle({}, {2.0, 1.0}, MatchPolicy::REG, 1.0), util::InvalidArgument);
+  EXPECT_THROW(run_oracle({}, {}, MatchPolicy::REG, -0.1), util::InvalidArgument);
+}
+
+TEST(ModelCheckOracle, AnswersCarryTheAcceptableRegion) {
+  const auto r = run_oracle({1.0}, {2.0}, MatchPolicy::REGU, 0.5);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.answers[0].region.lo, 2.0);
+  EXPECT_DOUBLE_EQ(r.answers[0].region.hi, 2.5);
+}
+
+}  // namespace
+}  // namespace ccf::modelcheck
