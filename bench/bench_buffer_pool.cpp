@@ -32,6 +32,32 @@ BENCHMARK(BM_StoreAndFree)
     ->Arg(256 * 256)     // 512 KiB
     ->Arg(512 * 512);    // 2 MiB — the paper's per-process block
 
+/// Steady-state store/drop against one persistent pool: after the first
+/// iteration every frame comes from the arena free list, so the loop does
+/// one memcpy and zero heap allocation. allocs_per_store approaches 0.
+void BM_StoreRecycleArena(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<double> block(count, 1.5);
+  ScriptedContext ctx;
+  BufferPool pool;
+  double t = 0;
+  for (auto _ : state) {
+    pool.store(++t, block.data(), count, 0b1, ctx);
+    benchmark::DoNotOptimize(pool.snapshot(t).data());
+    pool.drop(t, 0);
+  }
+  const auto& s = pool.stats();
+  state.counters["allocs_per_store"] =
+      s.stores == 0 ? 0.0 : static_cast<double>(s.arena_allocs) / static_cast<double>(s.stores);
+  state.counters["arena_reuses"] = static_cast<double>(s.arena_reuses);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(double)));
+}
+BENCHMARK(BM_StoreRecycleArena)
+    ->Arg(64 * 64)
+    ->Arg(256 * 256)
+    ->Arg(512 * 512);
+
 void BM_DropBelowSweep(benchmark::State& state) {
   const auto entries = static_cast<std::size_t>(state.range(0));
   std::vector<double> block(64, 1.0);

@@ -1,10 +1,15 @@
 // Microbenchmarks of the MxN redistribution machinery: schedule
-// construction cost as process counts grow, and pack/unpack throughput.
+// construction cost as process counts grow, pack/unpack throughput, and
+// the data-plane send paths (legacy two-copy vs direct wire pack vs
+// zero-copy snapshot aliasing) that BENCH_dataplane.json tracks.
 #include <benchmark/benchmark.h>
 
+#include "core/buffer_pool.hpp"
 #include "dist/dist_array.hpp"
 #include "dist/redistribute.hpp"
 #include "dist/schedule.hpp"
+#include "runtime/scripted_context.hpp"
+#include "transport/serialize.hpp"
 
 namespace {
 
@@ -72,6 +77,110 @@ void BM_PackFromPacked(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * piece.count() * 8);
 }
 BENCHMARK(BM_PackFromPacked);
+
+// ---------------------------------------------------------------------------
+// Data-plane send paths. A "large piece" is 512x512 doubles (2 MiB) out of
+// a 1024x1024 snapshot — the paper's per-process block size.
+
+const Box kSnapshotBox{0, 1024, 0, 1024};
+const Box kLargePiece{256, 768, 256, 768};
+
+/// The pre-PR data path: pack the piece into an element vector, then
+/// serialize that vector into a second buffer (two full copies).
+void BM_SendPayloadLegacy(benchmark::State& state) {
+  const std::vector<double> snapshot(1024 * 1024, 1.0);
+  for (auto _ : state) {
+    auto packed = ccf::dist::pack_from_packed(kSnapshotBox, snapshot, kLargePiece);
+    ccf::transport::Writer w;
+    w.put_vector(packed);
+    auto payload = w.take();
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kLargePiece.count() *
+                          8);
+}
+BENCHMARK(BM_SendPayloadLegacy);
+
+/// The current path for a partial piece: one strided copy straight into an
+/// exact-size wire frame.
+void BM_SendPayloadWire(benchmark::State& state) {
+  const std::vector<double> snapshot(1024 * 1024, 1.0);
+  for (auto _ : state) {
+    auto payload =
+        ccf::dist::pack_wire_payload(kSnapshotBox, snapshot.data(), kLargePiece);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kLargePiece.count() *
+                          8);
+}
+BENCHMARK(BM_SendPayloadWire);
+
+/// The full export transfer path through BufferPool + execute_sends_packed:
+/// a 1->1 full-box schedule, so every send aliases the pooled frame
+/// (zero copies beyond the snapshot memcpy). copies_per_delivered_byte is
+/// exported as a counter so run_benches can assert the steady-state value.
+void BM_ExportTransferFullBoxAliased(benchmark::State& state) {
+  const auto decomp = BlockDecomposition::make_grid(512, 512, 1);
+  const RedistSchedule sched(decomp, decomp, Box{0, 512, 0, 512});
+  const std::vector<double> block(512 * 512, 1.0);
+  ccf::runtime::ScriptedContext ctx(0);
+  ccf::core::BufferPool pool;
+  ccf::dist::TransferStats stats;
+  double t = 0;
+  for (auto _ : state) {
+    pool.store(++t, block.data(), block.size(), 0b1, ctx);
+    ccf::dist::execute_sends_packed(ctx, sched, 0, {100}, 77, Box{0, 512, 0, 512},
+                                    pool.snapshot(t).data(), &stats, pool.wire_payload(t));
+    ctx.sent().clear();  // release the in-flight alias so the frame recycles
+    pool.drop(t, 0);
+  }
+  state.counters["copies_per_delivered_byte"] = stats.copies_per_delivered_byte();
+  state.counters["arena_reuses"] = static_cast<double>(pool.stats().arena_reuses);
+  state.counters["arena_allocs"] = static_cast<double>(pool.stats().arena_allocs);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 512 * 512 * 8);
+}
+BENCHMARK(BM_ExportTransferFullBoxAliased);
+
+/// Same transfer path when the schedule splits the box across 4 importers:
+/// every piece is partial, so each costs exactly one pack copy.
+void BM_ExportTransferPartialPieces(benchmark::State& state) {
+  const auto src = BlockDecomposition::make_grid(512, 512, 1);
+  const auto dst = BlockDecomposition::make_grid(512, 512, 4);
+  const RedistSchedule sched(src, dst, Box{0, 512, 0, 512});
+  const std::vector<double> block(512 * 512, 1.0);
+  ccf::runtime::ScriptedContext ctx(0);
+  ccf::core::BufferPool pool;
+  ccf::dist::TransferStats stats;
+  double t = 0;
+  for (auto _ : state) {
+    pool.store(++t, block.data(), block.size(), 0b1, ctx);
+    ccf::dist::execute_sends_packed(ctx, sched, 0, {100, 101, 102, 103}, 77,
+                                    Box{0, 512, 0, 512}, pool.snapshot(t).data(), &stats,
+                                    pool.wire_payload(t));
+    ctx.sent().clear();
+    pool.drop(t, 0);
+  }
+  state.counters["copies_per_delivered_byte"] = stats.copies_per_delivered_byte();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 512 * 512 * 8);
+}
+BENCHMARK(BM_ExportTransferPartialPieces);
+
+/// Receive-side strided unpack straight from payload bytes.
+void BM_UnpackBytes(benchmark::State& state) {
+  const auto side = state.range(0);
+  const BlockDecomposition d(side, side, 1, 1);
+  DistArray2D<double> a(d, 0);
+  const Box sub{0, side, 0, side};
+  const std::vector<double> buf(static_cast<std::size_t>(sub.count()), 2.5);
+  const auto* bytes = reinterpret_cast<const std::byte*>(buf.data());
+  for (auto _ : state) {
+    a.unpack_bytes(sub, bytes);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sub.count()) * 8);
+}
+BENCHMARK(BM_UnpackBytes)->Arg(128)->Arg(512);
 
 }  // namespace
 

@@ -63,6 +63,50 @@ void BM_MailboxTaggedScan(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxTaggedScan)->Arg(0)->Arg(16)->Arg(256);
 
+/// Fanning one payload out to many mailboxes: with refcounted payload
+/// views each enqueue copies a pointer, not the bytes, so cost per
+/// delivery is flat in payload size (compare Arg(64) vs Arg(262144)).
+void BM_PayloadFanout(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0)) * sizeof(double);
+  const Payload payload = make_payload(std::vector<std::byte>(bytes, std::byte{1}));
+  constexpr int kDests = 16;
+  std::vector<Mailbox> boxes(kDests);
+  Message m;
+  m.src = 0;
+  m.tag = 5;
+  for (auto _ : state) {
+    for (int d = 0; d < kDests; ++d) {
+      m.dst = d;
+      m.payload = payload;  // view copy: O(1) regardless of size
+      boxes[static_cast<std::size_t>(d)].deliver(m);
+    }
+    for (int d = 0; d < kDests; ++d) {
+      benchmark::DoNotOptimize(boxes[static_cast<std::size_t>(d)].receive(MatchSpec{0, 5}));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kDests);
+}
+BENCHMARK(BM_PayloadFanout)->Arg(64)->Arg(262144);
+
+/// Forwarding a slice of a received payload (the mailbox/fault/relay
+/// pattern): slicing shares the buffer, so this never touches the bytes.
+void BM_PayloadSliceForward(benchmark::State& state) {
+  const std::size_t bytes = 2 * 1024 * 1024;
+  const Payload whole = make_payload(std::vector<std::byte>(bytes, std::byte{2}));
+  Mailbox box;
+  Message m;
+  m.src = 1;
+  m.dst = 0;
+  m.tag = 9;
+  for (auto _ : state) {
+    m.payload = whole.slice(bytes / 4, bytes / 2);
+    box.deliver(m);
+    benchmark::DoNotOptimize(box.receive(MatchSpec{1, 9}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PayloadSliceForward);
+
 void BM_NetworkSend(benchmark::State& state) {
   Network net;
   net.register_process(0);

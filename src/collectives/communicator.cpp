@@ -92,7 +92,7 @@ void Communicator::bcast_bytes(std::vector<std::byte>& buf, int root) {
     if (vrank & mask) {
       const int src = real_rank(vrank - mask, root, n);
       Message m = ctx_.recv(MatchSpec{proc_at(src), tag});
-      buf.assign(m.payload->begin(), m.payload->end());
+      buf.assign(m.payload.begin(), m.payload.end());
       break;
     }
     mask <<= 1;
@@ -119,7 +119,7 @@ std::vector<std::vector<std::byte>> Communicator::gather_bytes(std::vector<std::
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
       Message m = ctx_.recv(MatchSpec{proc_at(r), tag});
-      parts[static_cast<std::size_t>(r)].assign(m.payload->begin(), m.payload->end());
+      parts[static_cast<std::size_t>(r)].assign(m.payload.begin(), m.payload.end());
     }
   } else {
     ctx_.send(proc_at(root), tag, bytes_of(local.data(), local.size()));
@@ -144,8 +144,8 @@ std::vector<std::byte> Communicator::scatter_bytes(const std::vector<std::byte>&
             all.begin() + static_cast<std::ptrdiff_t>(chunk_bytes * static_cast<std::size_t>(root + 1))};
   }
   Message m = ctx_.recv(MatchSpec{proc_at(root), tag});
-  CCF_CHECK(m.payload->size() == chunk_bytes, "scatter chunk size mismatch");
-  return {m.payload->begin(), m.payload->end()};
+  CCF_CHECK(m.payload.size() == chunk_bytes, "scatter chunk size mismatch");
+  return {m.payload.begin(), m.payload.end()};
 }
 
 void Communicator::reduce_bytes(std::vector<std::byte>& buf, std::size_t elem_size, int root,
@@ -168,9 +168,9 @@ void Communicator::reduce_bytes(std::vector<std::byte>& buf, std::size_t elem_si
       if (partner_v < n) {
         const int partner = real_rank(partner_v, root, n);
         Message m = ctx_.recv(MatchSpec{proc_at(partner), tag});
-        CCF_CHECK(m.payload->size() == buf.size(),
+        CCF_CHECK(m.payload.size() == buf.size(),
                   "reduce contribution size mismatch from rank " << partner);
-        combine(buf.data(), m.payload->data(), count);
+        combine(buf.data(), m.payload.data(), count);
       }
     } else {
       const int parent = real_rank(vrank & ~mask, root, n);

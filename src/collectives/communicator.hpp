@@ -253,10 +253,9 @@ class Communicator {
 
   template <typename T>
   static std::vector<T> typed_of(const Payload& p) {
-    CCF_CHECK(p != nullptr && p->size() % sizeof(T) == 0,
-              "payload size not a multiple of element size");
-    std::vector<T> out(p->size() / sizeof(T));
-    std::memcpy(out.data(), p->data(), p->size());
+    CCF_CHECK(p && p.size() % sizeof(T) == 0, "payload size not a multiple of element size");
+    std::vector<T> out(p.size() / sizeof(T));
+    if (!p.empty()) std::memcpy(out.data(), p.data(), p.size());
     return out;
   }
 

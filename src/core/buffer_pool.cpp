@@ -1,20 +1,57 @@
 #include "core/buffer_pool.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "transport/serialize.hpp"
 #include "util/check.hpp"
 
 namespace ccf::core {
+
+namespace {
+constexpr std::size_t kPrefix = transport::kLengthPrefixBytes;
+}  // namespace
+
+std::shared_ptr<BufferPool::SnapshotFrame> BufferPool::acquire_frame(std::size_t frame_bytes) {
+  // Best fit from the free list: smallest recycled frame that holds the
+  // request. Steady-state coupling stores same-sized snapshots, so this
+  // is a hit (and zero heap traffic) after the first few exports.
+  auto best = arena_.end();
+  for (auto it = arena_.begin(); it != arena_.end(); ++it) {
+    if ((*it)->capacity < frame_bytes) continue;
+    if (best == arena_.end() || (*it)->capacity < (*best)->capacity) best = it;
+  }
+  if (best != arena_.end()) {
+    std::shared_ptr<SnapshotFrame> frame = std::move(*best);
+    arena_.erase(best);
+    frame->size = frame_bytes;
+    ++stats_.arena_reuses;
+    return frame;
+  }
+  auto frame = std::make_shared<SnapshotFrame>();
+  // new[] (not a vector) so the bytes are not value-initialized before the
+  // snapshot memcpy overwrites them; operator new aligns to max_align_t,
+  // which keeps the doubles at offset kPrefix (8) naturally aligned.
+  frame->bytes = std::unique_ptr<std::byte[]>(new std::byte[frame_bytes]);
+  frame->capacity = frame_bytes;
+  frame->size = frame_bytes;
+  ++stats_.arena_allocs;
+  return frame;
+}
 
 double BufferPool::store(Timestamp t, const double* src, std::size_t count, ConnMask needed,
                          runtime::ProcessContext& ctx) {
   CCF_REQUIRE(needed != 0, "storing a snapshot nobody needs");
   CCF_REQUIRE(!entries_.count(t), "timestamp " << t << " already buffered");
-  Entry entry;
-  entry.data.resize(count);
   const std::size_t bytes = count * sizeof(double);
+  Entry entry;
+  entry.frame = acquire_frame(kPrefix + bytes);
+  entry.count = count;
+  const auto n64 = static_cast<std::uint64_t>(count);
+  std::memcpy(entry.frame->bytes.get(), &n64, kPrefix);
   const double before = ctx.now();
-  ctx.copy(entry.data.data(), src, bytes);  // the memcpy the paper counts
+  // The memcpy the paper counts: data bytes only, the prefix is framing.
+  ctx.copy(entry.frame->bytes.get() + kPrefix, src, bytes);
   entry.cost_seconds = ctx.now() - before;
   entry.needed = needed;
 
@@ -31,10 +68,18 @@ double BufferPool::store(Timestamp t, const double* src, std::size_t count, Conn
   return cost;
 }
 
-const std::vector<double>& BufferPool::snapshot(Timestamp t) const {
+BufferPool::SnapshotView BufferPool::snapshot(Timestamp t) const {
   auto it = entries_.find(t);
   CCF_CHECK(it != entries_.end(), "no buffered snapshot for timestamp " << t);
-  return it->second.data;
+  const Entry& e = it->second;
+  return SnapshotView(reinterpret_cast<const double*>(e.frame->bytes.get() + kPrefix), e.count);
+}
+
+transport::Payload BufferPool::wire_payload(Timestamp t) const {
+  auto it = entries_.find(t);
+  CCF_CHECK(it != entries_.end(), "no buffered snapshot for timestamp " << t);
+  const std::shared_ptr<SnapshotFrame>& frame = it->second.frame;
+  return transport::Payload(frame, frame->bytes.get(), frame->size);
 }
 
 void BufferPool::mark_sent(Timestamp t, int conn_index) {
@@ -46,7 +91,7 @@ void BufferPool::mark_sent(Timestamp t, int conn_index) {
 }
 
 void BufferPool::free_entry_locked(std::map<Timestamp, Entry>::iterator it) {
-  const std::size_t bytes = it->second.data.size() * sizeof(double);
+  const std::size_t bytes = it->second.count * sizeof(double);
   if (it->second.ever_sent) {
     ++stats_.frees_sent;
   } else {
@@ -55,6 +100,12 @@ void BufferPool::free_entry_locked(std::map<Timestamp, Entry>::iterator it) {
   }
   --stats_.live_entries;
   stats_.live_bytes -= bytes;
+  // Recycle the frame only when the pool holds the last reference: an
+  // in-flight payload still aliasing it must keep its bytes intact, so
+  // such a frame is simply released (the payload frees it when done).
+  if (arena_.size() < kArenaCapacity && it->second.frame.use_count() == 1) {
+    arena_.push_back(std::move(it->second.frame));
+  }
   entries_.erase(it);
 }
 

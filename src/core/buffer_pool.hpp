@@ -7,20 +7,33 @@
 // (one region can feed several importing programs; a snapshot is freed
 // when no connection needs it).
 //
+// Snapshots are stored pre-framed for the wire: each buffer begins with
+// the u64 element-count prefix Writer::put_vector would emit, followed by
+// the raw doubles. wire_payload() aliases that frame as a refcounted
+// transport::Payload, so a full-box transfer ships the pooled snapshot
+// itself — zero extra copies, one buffer shared across every destination
+// rank and connection. Freed frames are recycled through a small arena
+// free list, so steady-state exporting performs no heap allocation at all.
+//
 // The pool charges the modeled copy cost through ProcessContext::copy, so
 // the virtual-time experiments see the same buffering cost structure the
 // paper measures, and tracks Eq.(1)/(2) accounting: the cost of snapshots
 // that were freed without ever being transferred is the "unnecessary
-// buffering time" T_ub that buddy-help attacks.
+// buffering time" T_ub that buddy-help attacks. All byte accounting
+// (bytes_copied, live_bytes, peak_bytes) counts snapshot *data* bytes;
+// the 8-byte frame prefix is framing, not buffered data.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/timestamp.hpp"
 #include "runtime/process_context.hpp"
+#include "transport/message.hpp"
 
 namespace ccf::core {
 
@@ -33,6 +46,8 @@ struct BufferStats {
   std::uint64_t frees_sent = 0;     ///< snapshots freed after >= 1 transfer
   std::uint64_t sends = 0;          ///< per-connection transfers served
   std::uint64_t bytes_copied = 0;
+  std::uint64_t arena_allocs = 0;   ///< frames newly heap-allocated
+  std::uint64_t arena_reuses = 0;   ///< frames recycled from the free list
   double seconds_buffering = 0;     ///< modeled cost of all stores
   double seconds_unnecessary = 0;   ///< modeled cost of unsent stores (T_ub)
   std::size_t peak_entries = 0;
@@ -56,8 +71,30 @@ class BufferPool {
   bool has(Timestamp t) const { return entries_.count(t) > 0; }
   std::size_t size() const { return entries_.size(); }
 
+  /// Read-only view over a buffered snapshot's elements (no copy; points
+  /// past the frame's wire prefix into the stored doubles).
+  class SnapshotView {
+   public:
+    SnapshotView(const double* data, std::size_t size) : data_(data), size_(size) {}
+    const double* data() const { return data_; }
+    std::size_t size() const { return size_; }
+    double operator[](std::size_t i) const { return data_[i]; }
+    const double* begin() const { return data_; }
+    const double* end() const { return data_ + size_; }
+
+   private:
+    const double* data_;
+    std::size_t size_;
+  };
+
   /// Snapshot data for a transfer; throws if absent.
-  const std::vector<double>& snapshot(Timestamp t) const;
+  SnapshotView snapshot(Timestamp t) const;
+
+  /// The snapshot's wire frame ([u64 count][doubles] — Writer::put_vector
+  /// framing) as a payload aliasing the pooled buffer. Sending it copies
+  /// nothing; the frame stays alive (and out of the arena) while any
+  /// in-flight payload still references it.
+  transport::Payload wire_payload(Timestamp t) const;
 
   /// Marks a per-connection transfer of entry `t` as performed.
   void mark_sent(Timestamp t, int conn_index);
@@ -87,16 +124,30 @@ class BufferPool {
   const BufferStats& stats() const { return stats_; }
 
  private:
+  /// One wire-framed snapshot buffer: [u64 count][count doubles].
+  /// Heap-allocated once, then cycled pool -> payload refs -> arena.
+  struct SnapshotFrame {
+    std::unique_ptr<std::byte[]> bytes;
+    std::size_t capacity = 0;  ///< allocated bytes (>= size)
+    std::size_t size = 0;      ///< frame bytes in use (prefix + data)
+  };
+
   struct Entry {
-    std::vector<double> data;
+    std::shared_ptr<SnapshotFrame> frame;
+    std::size_t count = 0;  ///< element count (frame holds prefix + these)
     ConnMask needed = 0;
     bool ever_sent = false;
     double cost_seconds = 0;
   };
 
+  /// Max frames parked on the free list awaiting reuse.
+  static constexpr std::size_t kArenaCapacity = 8;
+
+  std::shared_ptr<SnapshotFrame> acquire_frame(std::size_t frame_bytes);
   void free_entry_locked(std::map<Timestamp, Entry>::iterator it);
 
   std::map<Timestamp, Entry> entries_;
+  std::vector<std::shared_ptr<SnapshotFrame>> arena_;
   BufferStats stats_;
 };
 

@@ -178,9 +178,12 @@ void ExportRegionState::send_response(Conn& conn, std::uint32_t seq, const Match
 
 void ExportRegionState::send_data(Conn& conn, std::uint32_t seq, Timestamp match,
                                   ProcessContext& ctx) {
-  const auto& snapshot = pool_.snapshot(match);
+  // Sends source the pooled snapshot directly; a piece covering the whole
+  // local box aliases the pooled wire frame (zero-copy fan-out).
+  const BufferPool::SnapshotView snapshot = pool_.snapshot(match);
   dist::execute_sends_packed(ctx, conn.cfg.schedule, my_rank_, conn.cfg.importer_procs,
-                             data_tag(conn.cfg.conn_id, seq), local_box_, snapshot);
+                             data_tag(conn.cfg.conn_id, seq), local_box_, snapshot.data(),
+                             &xfer_, pool_.wire_payload(match));
   ++stats_.transfers;
   trace_.emit(TraceKind::SendData, ctx.now(), match);
 }

@@ -32,6 +32,7 @@
 #include "core/stats.hpp"
 #include "core/trace.hpp"
 #include "dist/schedule.hpp"
+#include "dist/transfer_stats.hpp"
 #include "runtime/process_context.hpp"
 
 namespace ccf::core {
@@ -117,10 +118,14 @@ class ExportRegionState {
 
   const std::string& region_name() const { return name_; }
 
-  /// Stats with the buffer-pool and matcher counters folded in.
+  /// Stats with the buffer-pool, data-plane, and matcher counters folded in.
   ExportRegionStats stats_snapshot() const {
     ExportRegionStats s = stats_;
     s.buffer = pool_.stats();
+    s.bytes_delivered = xfer_.bytes_delivered;
+    s.bytes_pack_copied = xfer_.bytes_pack_copied;
+    s.sends_aliased = xfer_.sends_aliased;
+    s.sends_packed = xfer_.sends_packed;
     for (const auto& c : conns_) {
       const ExportHistory::EvalCounters& ec = c.history.eval_counters();
       s.matcher_evaluations += ec.evaluations;
@@ -195,6 +200,7 @@ class ExportRegionState {
   ProcId rep_id_;
   BufferPool pool_;
   ExportRegionStats stats_;
+  dist::TransferStats xfer_;  ///< data-plane copy accounting across all sends
   Trace trace_;
 };
 

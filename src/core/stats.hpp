@@ -23,6 +23,21 @@ struct ExportRegionStats {
   std::uint64_t transfers = 0;  ///< matched snapshots actually shipped
   BufferStats buffer;
 
+  // Data-plane copy accounting (dist::TransferStats, folded in by the
+  // exporter state; see docs/PERF.md).
+  std::uint64_t bytes_delivered = 0;    ///< payload element bytes shipped
+  std::uint64_t bytes_pack_copied = 0;  ///< extra pack-copy bytes (partial pieces)
+  std::uint64_t sends_aliased = 0;      ///< full-box sends aliasing the pooled frame
+  std::uint64_t sends_packed = 0;       ///< partial pieces packed into a wire frame
+
+  /// Extra copies per delivered byte beyond the snapshot memcpy and the
+  /// importer's final unpack: 0 when every send aliased the pooled frame,
+  /// 1 when every send was a packed partial piece.
+  double copies_per_delivered_byte() const {
+    if (bytes_delivered == 0) return 0.0;
+    return static_cast<double>(bytes_pack_copied) / static_cast<double>(bytes_delivered);
+  }
+
   /// Duration of each export call (paper Fig. 4 y-axis), in ctx.now() secs.
   std::vector<double> export_seconds;
 

@@ -3,6 +3,8 @@
 // packing/unpacking of arbitrary sub-boxes for redistribution.
 #pragma once
 
+#include <cstddef>
+#include <cstring>
 #include <vector>
 
 #include "dist/decomposition.hpp"
@@ -63,13 +65,21 @@ class DistArray2D {
 
   /// Inverse of pack(): writes a dense row-major buffer into `box`.
   void unpack(const Box& box, const std::vector<T>& buf) {
-    CCF_REQUIRE(local_.contains(box), "unpack box " << box << " escapes local box " << local_);
     CCF_REQUIRE(buf.size() == static_cast<std::size_t>(box.count()),
                 "unpack buffer has " << buf.size() << " elements, box needs " << box.count());
-    std::size_t src = 0;
+    unpack_bytes(box, reinterpret_cast<const std::byte*>(buf.data()));
+  }
+
+  /// Writes `box.count()` row-major elements from raw bytes into `box` —
+  /// one strided memcpy per row. `src` need not be aligned (it typically
+  /// points into the middle of a received payload).
+  void unpack_bytes(const Box& box, const std::byte* src) {
+    CCF_REQUIRE(local_.contains(box), "unpack box " << box << " escapes local box " << local_);
+    const std::size_t row_bytes = static_cast<std::size_t>(box.cols()) * sizeof(T);
+    if (row_bytes == 0) return;
     for (Index r = box.row_begin; r < box.row_end; ++r) {
-      const std::size_t base = offset(r, box.col_begin);
-      for (Index c = 0; c < box.cols(); ++c) storage_[base + static_cast<std::size_t>(c)] = buf[src++];
+      std::memcpy(storage_.data() + offset(r, box.col_begin), src, row_bytes);
+      src += row_bytes;
     }
   }
 

@@ -1,0 +1,30 @@
+// Copy accounting for the redistribution data plane (docs/PERF.md).
+//
+// Counts, per executed schedule, how many payload bytes were delivered and
+// how many extra copies producing them cost beyond the export-side
+// snapshot memcpy (the one copy the paper's Eq. 1 models) and the
+// importer's final unpack into its block. A full-box aliased send costs 0
+// extra copies (the pooled snapshot frame is the payload); a partial piece
+// costs exactly 1 (the strided pack into its wire frame).
+#pragma once
+
+#include <cstdint>
+
+namespace ccf::dist {
+
+struct TransferStats {
+  std::uint64_t bytes_delivered = 0;    ///< payload element bytes shipped
+  std::uint64_t bytes_pack_copied = 0;  ///< extra pack-copy bytes (partial pieces)
+  std::uint64_t sends_aliased = 0;      ///< full-box sends aliasing the pooled frame
+  std::uint64_t sends_packed = 0;       ///< partial pieces packed into a fresh frame
+
+  /// Extra copies per delivered byte on the transfer path: 0 when every
+  /// send aliased a pooled frame, 1 when every send was a packed partial
+  /// piece, in between for a mix.
+  double copies_per_delivered_byte() const {
+    if (bytes_delivered == 0) return 0.0;
+    return static_cast<double>(bytes_pack_copied) / static_cast<double>(bytes_delivered);
+  }
+};
+
+}  // namespace ccf::dist

@@ -11,6 +11,10 @@
 // Eligibility is scoped by an optional predicate over (src, dst, tag) so a
 // test can target control traffic while leaving bulk data alone, and a
 // max_faults cap bounds total injected damage per run.
+//
+// A duplicated message re-delivers the same refcounted payload view: both
+// deliveries alias one buffer, so duplication is O(1) regardless of
+// payload size (and cannot diverge byte-wise between the two copies).
 #pragma once
 
 #include <cstdint>

@@ -17,6 +17,9 @@ class LatencyModel {
   virtual ~LatencyModel() = default;
 
   /// Delivery delay in seconds for a message of `bytes` payload bytes.
+  /// `bytes` is the payload view's size — the bytes on the wire — which is
+  /// identical whether the payload aliases a pooled snapshot frame or was
+  /// packed fresh, so the modeled cost is independent of the copy path.
   virtual double delay_seconds(std::size_t bytes) const = 0;
 };
 

@@ -5,6 +5,10 @@
 // messages stay queued (out-of-order consumption is the whole point of
 // tagged receive). close() wakes blocked receivers with an exception so
 // simulated processes can be torn down cleanly.
+//
+// Payloads are refcounted views (transport::PayloadView), so enqueueing,
+// holding, and handing out messages never copies payload bytes — the same
+// buffer a broadcast enqueued into many mailboxes is shared, not cloned.
 #pragma once
 
 #include <chrono>

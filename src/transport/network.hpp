@@ -10,7 +10,8 @@
 // An optional FaultInjector perturbs delivery: dropped messages vanish,
 // duplicated ones are delivered twice, and "delayed" ones are held back
 // until the next message to the same destination (the fabric has no
-// clock, so a delay manifests as a reordering).
+// clock, so a delay manifests as a reordering). Duplicating or holding a
+// Message copies only its refcounted payload view, never the bytes.
 #pragma once
 
 #include <atomic>

@@ -4,6 +4,7 @@
 
 #include "core/buffer_pool.hpp"
 #include "fake_context.hpp"
+#include "transport/serialize.hpp"
 
 namespace ccf::core {
 namespace {
@@ -123,6 +124,66 @@ TEST(BufferPoolTest, SnapshotOfAbsentThrows) {
   BufferPool pool;
   EXPECT_THROW(pool.snapshot(1.0), util::InternalError);
   EXPECT_THROW(pool.mark_sent(1.0, 0), util::InternalError);
+  EXPECT_THROW(pool.wire_payload(1.0), util::InternalError);
+}
+
+TEST(BufferPoolTest, WirePayloadIsPutVectorFrameAliasingTheSnapshot) {
+  FakeContext ctx;
+  BufferPool pool;
+  auto src = block(10, 2.25);
+  pool.store(1.0, src.data(), 10, 0b1, ctx);
+
+  const transport::Payload frame = pool.wire_payload(1.0);
+  ASSERT_TRUE(frame);
+  EXPECT_EQ(frame.size(), transport::kLengthPrefixBytes + 10 * sizeof(double));
+  // The frame aliases the pooled snapshot bytes — no copy was made.
+  EXPECT_EQ(frame.data() + transport::kLengthPrefixBytes,
+            reinterpret_cast<const std::byte*>(pool.snapshot(1.0).data()));
+
+  // And it parses exactly like a Writer::put_vector message.
+  transport::Reader r(frame);
+  const auto v = r.get_vector<double>();
+  EXPECT_TRUE(r.exhausted());
+  ASSERT_EQ(v.size(), 10u);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 2.25);
+}
+
+TEST(BufferPoolTest, ArenaRecyclesFreedFrames) {
+  FakeContext ctx;
+  BufferPool pool;
+  auto src = block(64, 1.0);
+  pool.store(1.0, src.data(), 64, 0b1, ctx);
+  const void* first = pool.snapshot(1.0).data();
+  pool.drop(1.0, 0);
+  pool.store(2.0, src.data(), 64, 0b1, ctx);
+  EXPECT_EQ(pool.stats().arena_allocs, 1u);
+  EXPECT_EQ(pool.stats().arena_reuses, 1u);
+  EXPECT_EQ(pool.snapshot(2.0).data(), first) << "same-size store must reuse the freed frame";
+  // Exact byte accounting survives recycling.
+  EXPECT_EQ(pool.stats().live_bytes, 64 * sizeof(double));
+  EXPECT_EQ(pool.stats().peak_bytes, 64 * sizeof(double));
+  EXPECT_EQ(pool.stats().bytes_copied, 2 * 64 * sizeof(double));
+}
+
+TEST(BufferPoolTest, InFlightPayloadBlocksRecycling) {
+  FakeContext ctx;
+  BufferPool pool;
+  auto src = block(32, 7.5);
+  pool.store(1.0, src.data(), 32, 0b1, ctx);
+  const transport::Payload in_flight = pool.wire_payload(1.0);
+  pool.drop(1.0, 0);
+
+  // The frame is still referenced by `in_flight`, so the next store must
+  // allocate fresh instead of scribbling over bytes someone may read.
+  auto src2 = block(32, -1.0);
+  pool.store(2.0, src2.data(), 32, 0b1, ctx);
+  EXPECT_EQ(pool.stats().arena_reuses, 0u);
+  EXPECT_EQ(pool.stats().arena_allocs, 2u);
+
+  transport::Reader r(in_flight);
+  const auto v = r.get_vector<double>();
+  ASSERT_EQ(v.size(), 32u);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 7.5) << "in-flight payload bytes were clobbered";
 }
 
 }  // namespace

@@ -12,7 +12,7 @@ namespace {
 using transport::Payload;
 
 std::vector<std::byte> bytes_of(const Payload& p) {
-  return std::vector<std::byte>(p->begin(), p->end());
+  return std::vector<std::byte>(p.begin(), p.end());
 }
 
 Payload payload_from(std::vector<std::byte> bytes) {

@@ -42,6 +42,94 @@ TEST(Serialize, UnderflowThrows) {
   EXPECT_THROW(r.get<std::uint64_t>(), util::InvalidArgument);
 }
 
+TEST(Serialize, MalformedVectorLengthThrowsBeforeAllocating) {
+  // A corrupt length prefix like 2^61 makes n * sizeof(double) wrap to a
+  // small number; the count must be validated against the remaining bytes
+  // before any allocation, so this throws instead of attempting a huge
+  // vector (or worse, passing a wrapped bounds check and reading OOB).
+  Writer w;
+  w.put<std::uint64_t>(std::uint64_t{1} << 61);
+  w.put<double>(1.0);  // far fewer bytes than the prefix claims
+  Reader r(w.take());
+  EXPECT_THROW(r.get_vector<double>(), util::InvalidArgument);
+}
+
+TEST(Serialize, MalformedStringLengthThrows) {
+  Writer w;
+  w.put<std::uint64_t>(std::uint64_t{1} << 61);
+  Reader r(w.take());
+  EXPECT_THROW(r.get_string(), util::InvalidArgument);
+}
+
+TEST(Serialize, WriterReservesUpFront) {
+  // put_vector must reserve prefix + data in one step, not grow twice.
+  const std::vector<double> v(1000, 1.5);
+  Writer w;
+  w.put_vector(v);
+  EXPECT_EQ(w.size(), kLengthPrefixBytes + v.size() * sizeof(double));
+
+  // The exact-reserve constructor makes the allocation count exactly one.
+  Writer sized(kLengthPrefixBytes + v.size() * sizeof(double));
+  const std::size_t cap = sized.capacity();
+  sized.put_vector(v);
+  EXPECT_EQ(sized.capacity(), cap) << "put_vector reallocated a pre-sized writer";
+}
+
+TEST(PayloadView, NullVersusValidEmpty) {
+  const Payload null_payload;
+  EXPECT_FALSE(null_payload);
+  const Payload empty = empty_payload();
+  EXPECT_TRUE(empty);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(PayloadView, SliceSharesBufferWithoutCopy) {
+  std::vector<std::byte> bytes(16);
+  for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<std::byte>(i);
+  const Payload whole = make_payload(std::move(bytes));
+  const Payload mid = whole.slice(4, 8);
+  EXPECT_EQ(mid.size(), 8u);
+  EXPECT_EQ(mid.data(), whole.data() + 4) << "slice must alias, not copy";
+  EXPECT_EQ(static_cast<unsigned>(mid.data()[0]), 4u);
+  // A slice of a slice still aliases the original buffer.
+  const Payload inner = mid.slice(2, 2);
+  EXPECT_EQ(inner.data(), whole.data() + 6);
+}
+
+TEST(PayloadView, SliceBoundsChecked) {
+  const Payload p = make_payload(std::vector<std::byte>(8));
+  EXPECT_THROW(p.slice(9, 0), util::InvalidArgument);
+  EXPECT_THROW(p.slice(4, 5), util::InvalidArgument);
+  EXPECT_THROW(Payload{}.slice(0, 0), util::InvalidArgument);
+  EXPECT_NO_THROW(p.slice(8, 0));
+}
+
+TEST(PayloadView, SliceKeepsBufferAliveAfterParentDies) {
+  Payload tail;
+  {
+    std::vector<std::byte> bytes(32, std::byte{7});
+    Payload whole = make_payload(std::move(bytes));
+    tail = whole.slice(16, 16);
+  }
+  ASSERT_TRUE(tail);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(static_cast<unsigned>(tail.data()[i]), 7u);
+  }
+}
+
+TEST(PayloadView, ReaderViewIsZeroCopy) {
+  Writer w;
+  w.put_vector<double>({1.0, 2.0, 3.0});
+  const Payload frame = w.take();
+  Reader r(frame);
+  EXPECT_EQ(r.get<std::uint64_t>(), 3u);
+  const Payload body = r.view(3 * sizeof(double));
+  EXPECT_EQ(body.data(), frame.data() + kLengthPrefixBytes) << "view must alias the frame";
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW(r.view(1), util::InvalidArgument);
+}
+
 TEST(Serialize, RawBytes) {
   Writer w;
   const char data[] = "abcd";
