@@ -12,6 +12,31 @@ namespace {
 constexpr std::size_t kPrefix = transport::kLengthPrefixBytes;
 }  // namespace
 
+void BufferPool::attach_memory(mem::MemoryGovernor* governor, mem::SpillStore* spill) {
+  CCF_CHECK(entries_.empty() && stats_.stores == 0,
+            "attach_memory must precede the first store");
+  governor_ = governor;
+  spill_ = spill;
+}
+
+void BufferPool::set_arena_limits(std::size_t max_frames, std::size_t max_bytes) {
+  arena_max_frames_ = max_frames;
+  arena_max_bytes_ = max_bytes;
+  // Shrink an already-parked surplus (limits may tighten mid-run).
+  while (arena_.size() > arena_max_frames_ ||
+         (arena_max_bytes_ > 0 && arena_bytes_ > arena_max_bytes_)) {
+    arena_bytes_ -= arena_.back()->capacity;
+    arena_.pop_back();
+  }
+}
+
+void BufferPool::park_frame(std::shared_ptr<SnapshotFrame> frame) {
+  if (arena_.size() >= arena_max_frames_) return;
+  if (arena_max_bytes_ > 0 && arena_bytes_ + frame->capacity > arena_max_bytes_) return;
+  arena_bytes_ += frame->capacity;
+  arena_.push_back(std::move(frame));
+}
+
 std::shared_ptr<BufferPool::SnapshotFrame> BufferPool::acquire_frame(std::size_t frame_bytes) {
   // Best fit from the free list: smallest recycled frame that holds the
   // request. Steady-state coupling stores same-sized snapshots, so this
@@ -23,6 +48,7 @@ std::shared_ptr<BufferPool::SnapshotFrame> BufferPool::acquire_frame(std::size_t
   }
   if (best != arena_.end()) {
     std::shared_ptr<SnapshotFrame> frame = std::move(*best);
+    arena_bytes_ -= frame->capacity;
     arena_.erase(best);
     frame->size = frame_bytes;
     ++stats_.arena_reuses;
@@ -62,6 +88,7 @@ double BufferPool::store(Timestamp t, const double* src, std::size_t count, Conn
   stats_.live_bytes += bytes;
   stats_.peak_entries = std::max(stats_.peak_entries, stats_.live_entries);
   stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+  if (governor_ != nullptr) governor_->charge(bytes);
 
   const double cost = entry.cost_seconds;
   entries_.emplace(t, std::move(entry));
@@ -72,6 +99,8 @@ BufferPool::SnapshotView BufferPool::snapshot(Timestamp t) const {
   auto it = entries_.find(t);
   CCF_CHECK(it != entries_.end(), "no buffered snapshot for timestamp " << t);
   const Entry& e = it->second;
+  CCF_CHECK(e.frame != nullptr,
+            "snapshot " << t << " is spilled; call ensure_resident first");
   return SnapshotView(reinterpret_cast<const double*>(e.frame->bytes.get() + kPrefix), e.count);
 }
 
@@ -79,7 +108,81 @@ transport::Payload BufferPool::wire_payload(Timestamp t) const {
   auto it = entries_.find(t);
   CCF_CHECK(it != entries_.end(), "no buffered snapshot for timestamp " << t);
   const std::shared_ptr<SnapshotFrame>& frame = it->second.frame;
+  CCF_CHECK(frame != nullptr,
+            "snapshot " << t << " is spilled; call ensure_resident first");
   return transport::Payload(frame, frame->bytes.get(), frame->size);
+}
+
+bool BufferPool::is_spilled(Timestamp t) const {
+  auto it = entries_.find(t);
+  return it != entries_.end() && it->second.frame == nullptr;
+}
+
+std::vector<Timestamp> BufferPool::resident_timestamps() const {
+  std::vector<Timestamp> out;
+  for (const auto& [t, e] : entries_) {
+    if (e.frame != nullptr) out.push_back(t);
+  }
+  return out;
+}
+
+bool BufferPool::spillable(Timestamp t) const {
+  auto it = entries_.find(t);
+  if (it == entries_.end() || it->second.frame == nullptr) return false;
+  // An in-flight payload aliasing the frame keeps its bytes alive anyway,
+  // so demoting the entry would not reclaim memory. Empty snapshots carry
+  // no data worth a file.
+  return it->second.frame.use_count() == 1 && it->second.count > 0;
+}
+
+std::size_t BufferPool::data_bytes(Timestamp t) const {
+  auto it = entries_.find(t);
+  CCF_CHECK(it != entries_.end(), "data_bytes of absent timestamp " << t);
+  return it->second.count * sizeof(double);
+}
+
+std::size_t BufferPool::spill_out(Timestamp t) {
+  CCF_CHECK(spill_ != nullptr, "spill_out without a spill store");
+  if (!spillable(t)) return 0;
+  Entry& e = entries_.find(t)->second;
+  const std::size_t bytes = e.count * sizeof(double);
+  // The whole wire frame (prefix + data) goes to disk so the restored
+  // frame is byte-identical and alias-sendable with no re-framing.
+  e.ticket = spill_->put(e.frame->bytes.get(), e.frame->size);
+  e.frame.reset();  // released to the heap, not parked: the point is RSS
+  ++stats_.evictions;
+  stats_.spill_bytes += bytes;
+  ++stats_.live_spilled_entries;
+  stats_.live_spilled_bytes += bytes;
+  stats_.live_bytes -= bytes;
+  if (governor_ != nullptr) governor_->release(bytes);
+  return bytes;
+}
+
+std::size_t BufferPool::restore_shortfall(Timestamp t) const {
+  if (governor_ == nullptr) return 0;
+  auto it = entries_.find(t);
+  if (it == entries_.end() || it->second.frame != nullptr) return 0;
+  return governor_->shortfall(it->second.count * sizeof(double));
+}
+
+void BufferPool::ensure_resident(Timestamp t) {
+  auto it = entries_.find(t);
+  CCF_CHECK(it != entries_.end(), "ensure_resident of absent timestamp " << t);
+  Entry& e = it->second;
+  if (e.frame != nullptr) return;
+  const std::size_t bytes = e.count * sizeof(double);
+  e.frame = acquire_frame(e.ticket.bytes);
+  spill_->restore(e.ticket, e.frame->bytes.get());
+  e.ticket = {};
+  ++stats_.restores;
+  CCF_CHECK(stats_.live_spilled_entries > 0 && stats_.live_spilled_bytes >= bytes,
+            "spill residency accounting underflow");
+  --stats_.live_spilled_entries;
+  stats_.live_spilled_bytes -= bytes;
+  stats_.live_bytes += bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.live_bytes);
+  if (governor_ != nullptr) governor_->charge(bytes);
 }
 
 void BufferPool::mark_sent(Timestamp t, int conn_index) {
@@ -99,12 +202,23 @@ void BufferPool::free_entry_locked(std::map<Timestamp, Entry>::iterator it) {
     stats_.seconds_unnecessary += it->second.cost_seconds;
   }
   --stats_.live_entries;
+  if (it->second.frame == nullptr) {
+    // Spilled entry proven non-matchable while on disk (buddy-help or a
+    // low-water advance): drop the file, no restore round-trip.
+    spill_->release(it->second.ticket);
+    ++stats_.spill_frees;
+    --stats_.live_spilled_entries;
+    stats_.live_spilled_bytes -= bytes;
+    entries_.erase(it);
+    return;
+  }
   stats_.live_bytes -= bytes;
+  if (governor_ != nullptr) governor_->release(bytes);
   // Recycle the frame only when the pool holds the last reference: an
   // in-flight payload still aliasing it must keep its bytes intact, so
   // such a frame is simply released (the payload frees it when done).
-  if (arena_.size() < kArenaCapacity && it->second.frame.use_count() == 1) {
-    arena_.push_back(std::move(it->second.frame));
+  if (it->second.frame.use_count() == 1) {
+    park_frame(std::move(it->second.frame));
   }
   entries_.erase(it);
 }

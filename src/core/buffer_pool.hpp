@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "core/timestamp.hpp"
+#include "mem/governor.hpp"
+#include "mem/spill.hpp"
 #include "runtime/process_context.hpp"
 #include "transport/message.hpp"
 
@@ -51,10 +53,18 @@ struct BufferStats {
   double seconds_buffering = 0;     ///< modeled cost of all stores
   double seconds_unnecessary = 0;   ///< modeled cost of unsent stores (T_ub)
   std::size_t peak_entries = 0;
-  std::size_t peak_bytes = 0;
+  std::size_t peak_bytes = 0;       ///< peak *resident* snapshot bytes
 
   std::size_t live_entries = 0;  ///< maintained by the pool
-  std::size_t live_bytes = 0;
+  std::size_t live_bytes = 0;    ///< resident bytes (excludes spilled)
+
+  // Spill tier (mem::SpillStore; zero everywhere unless governance is on).
+  std::uint64_t evictions = 0;    ///< snapshots demoted to the spill tier
+  std::uint64_t restores = 0;     ///< spilled snapshots restored (late MATCH)
+  std::uint64_t spill_bytes = 0;  ///< cumulative data bytes written to spill
+  std::uint64_t spill_frees = 0;  ///< spilled snapshots freed without restore
+  std::size_t live_spilled_entries = 0;
+  std::size_t live_spilled_bytes = 0;
 };
 
 class BufferPool {
@@ -121,6 +131,45 @@ class BufferPool {
   /// Timestamps < t buffered and still needed by `conn_index` (ascending).
   std::vector<Timestamp> buffered_below(Timestamp t, int conn_index) const;
 
+  // --- buffer governance (src/mem; all no-ops until attached) ------------
+
+  /// Routes residency accounting through `governor` (may be null) and
+  /// demotions through `spill` (may be null). Call before the first store.
+  void attach_memory(mem::MemoryGovernor* governor, mem::SpillStore* spill);
+
+  /// Caps the recycling arena at `max_frames` parked frames and (when
+  /// `max_bytes` > 0) `max_bytes` parked bytes.
+  void set_arena_limits(std::size_t max_frames, std::size_t max_bytes);
+
+  std::size_t arena_frames() const { return arena_.size(); }
+  std::size_t arena_bytes() const { return arena_bytes_; }
+
+  bool can_spill() const { return spill_ != nullptr; }
+  bool is_spilled(Timestamp t) const;
+
+  /// Resident (non-spilled) timestamps, ascending.
+  std::vector<Timestamp> resident_timestamps() const;
+
+  /// True when entry `t` is resident and its frame is not aliased by an
+  /// in-flight payload (spilling an aliased frame reclaims nothing).
+  bool spillable(Timestamp t) const;
+
+  /// Snapshot data bytes of entry `t` (excluding the wire prefix).
+  std::size_t data_bytes(Timestamp t) const;
+
+  /// Demotes entry `t` to the spill tier, releasing its resident frame.
+  /// Returns the data bytes reclaimed (0 when `t` is not spillable).
+  std::size_t spill_out(Timestamp t);
+
+  /// Restores entry `t` from the spill tier if it was demoted, so
+  /// snapshot()/wire_payload() can serve it. Byte-identical round trip.
+  void ensure_resident(Timestamp t);
+
+  /// Bytes the governor is short of to restore spilled entry `t` within
+  /// budget (0 when `t` is resident or the pool is ungoverned). Lets the
+  /// caller shed other snapshots before the restore charges the budget.
+  std::size_t restore_shortfall(Timestamp t) const;
+
   const BufferStats& stats() const { return stats_; }
 
  private:
@@ -133,21 +182,29 @@ class BufferPool {
   };
 
   struct Entry {
-    std::shared_ptr<SnapshotFrame> frame;
+    std::shared_ptr<SnapshotFrame> frame;  ///< null while spilled
     std::size_t count = 0;  ///< element count (frame holds prefix + these)
     ConnMask needed = 0;
     bool ever_sent = false;
     double cost_seconds = 0;
+    mem::SpillStore::Ticket ticket;  ///< valid only while frame is null
   };
 
-  /// Max frames parked on the free list awaiting reuse.
+  /// Default cap on frames parked on the free list awaiting reuse
+  /// (overridable via set_arena_limits / MemoryOptions::arena_capacity).
   static constexpr std::size_t kArenaCapacity = 8;
 
   std::shared_ptr<SnapshotFrame> acquire_frame(std::size_t frame_bytes);
+  void park_frame(std::shared_ptr<SnapshotFrame> frame);
   void free_entry_locked(std::map<Timestamp, Entry>::iterator it);
 
   std::map<Timestamp, Entry> entries_;
   std::vector<std::shared_ptr<SnapshotFrame>> arena_;
+  std::size_t arena_bytes_ = 0;  ///< capacity bytes parked across arena_
+  std::size_t arena_max_frames_ = kArenaCapacity;
+  std::size_t arena_max_bytes_ = 0;  ///< 0 = no byte cap
+  mem::MemoryGovernor* governor_ = nullptr;
+  mem::SpillStore* spill_ = nullptr;
   BufferStats stats_;
 };
 

@@ -29,6 +29,14 @@ CouplingRuntime::CouplingRuntime(runtime::ProcessContext& ctx, const Config& con
               "process id " << ctx_.id() << " does not match layout for " << program_
                             << " rank " << rank_);
   rep_ = pl.rep;
+  if (options_.memory.governed()) {
+    governor_ = std::make_unique<mem::MemoryGovernor>(options_.memory.budget_bytes,
+                                                      options_.memory.low_watermark,
+                                                      options_.memory.high_watermark);
+    if (!options_.memory.spill_directory.empty()) {
+      spill_ = std::make_unique<mem::SpillStore>(options_.memory.spill_directory);
+    }
+  }
 }
 
 void CouplingRuntime::define_export_region(const std::string& name,
@@ -157,6 +165,7 @@ void CouplingRuntime::commit() {
     }
     region.state = std::make_unique<ExportRegionState>(
         name, region.decomp.box_of(rank_), rank_, std::move(conn_configs), options_, rep_);
+    region.state->attach_memory(governor_.get(), spill_.get());
   }
 
   // Build import-side schedules.
@@ -184,6 +193,13 @@ void CouplingRuntime::commit() {
         exporter_decomp, region.decomp, window, window.row_begin, window.col_begin);
     region.exporter_procs = layout_.program(spec.exporter_program).proc_ids();
   }
+}
+
+void CouplingRuntime::signal_pressure() {
+  if (governor_ == nullptr || !governor_->consume_pressure_edge()) return;
+  const PressureMsg msg{0, static_cast<std::uint8_t>(governor_->under_pressure() ? 1 : 0)};
+  ctx_.send(rep_, kTagProcPressure, msg.encode());
+  ++pressure_signals_;
 }
 
 void CouplingRuntime::stash_answer(const AnswerMsg& answer) {
@@ -298,6 +314,19 @@ void CouplingRuntime::handle_control(const Message& m) {
     case kTagRepHeartbeat:
       ++ft_.heartbeats;
       break;
+    case kTagPressureBcast: {
+      // The exporter side of one of our import connections crossed a
+      // buffer watermark: remember the level so import_request throttles
+      // (or stops throttling) on that connection.
+      const PressureMsg msg = PressureMsg::decode(m.payload);
+      ++pressure_notices_;
+      if (msg.level != 0) {
+        pressured_conns_.insert(static_cast<int>(msg.conn));
+      } else {
+        pressured_conns_.erase(static_cast<int>(msg.conn));
+      }
+      break;
+    }
     case kTagRegionMetaBcast:
       // Late duplicate of the startup geometry broadcast (a commit-retry
       // nudge raced with the original broadcast's delivery, or the rep is
@@ -316,6 +345,10 @@ void CouplingRuntime::handle_control(const Message& m) {
       throw util::InternalError("unexpected control tag " + std::to_string(m.tag) +
                                 " at process " + std::to_string(ctx_.id()));
   }
+  // Requests, buddy-help, and connection closures all free snapshots, so
+  // any control message can clear (or, via parked requests, raise) the
+  // governor's pressure level.
+  signal_pressure();
 }
 
 void CouplingRuntime::drain_control() {
@@ -353,12 +386,39 @@ void CouplingRuntime::export_region(const std::string& name, Timestamp t,
   }
   drain_control();
 
-  // Finite buffer space (paper §6): when the next snapshot would exceed
-  // the cap, block on framework traffic — an import request advances the
-  // low-water mark and frees snapshots; an importer departure releases a
-  // whole connection. Stalling is skipped when this process itself must
-  // advance to unblock the system (see ExportRegionState::safe_to_stall).
-  if (options_.max_buffered_bytes > 0) {
+  // Finite buffer space (paper §6) and buffer governance (src/mem): when
+  // the next snapshot would exceed the per-region cap or the process-wide
+  // budget, first demote cold-but-matchable snapshots to the spill tier
+  // (decidability-ranked, no protocol effect), then block on framework
+  // traffic — an import request advances the low-water mark and frees
+  // snapshots; an importer departure releases a whole connection.
+  // Stalling is skipped when this process itself must advance to unblock
+  // the system (see ExportRegionState::safe_to_stall), and when waiting
+  // cannot possibly create room (the snapshot alone exceeds the budget):
+  // then the budget is exceeded softly, with pressure raised — the
+  // degraded bounded-buffering mode — rather than deadlocking the
+  // collective protocol.
+  const std::size_t snap_bytes = region.state->snapshot_bytes();
+  auto shed_shortfall = [&] {
+    if (governor_ == nullptr) return;
+    const std::size_t need = governor_->shortfall(snap_bytes);
+    if (need > 0) region.state->shed(need);
+  };
+  auto over_limit = [&]() -> bool {
+    if (options_.max_buffered_bytes > 0 &&
+        region.state->buffered_bytes() + snap_bytes > options_.max_buffered_bytes) {
+      return true;
+    }
+    if (governor_ != nullptr) {
+      const std::size_t need = governor_->shortfall(snap_bytes);
+      // Stall only while freeing/spilling what is charged could cover the
+      // shortfall; otherwise no amount of waiting makes this snapshot fit.
+      if (need > 0 && need <= governor_->stats().charged_bytes) return true;
+    }
+    return false;
+  };
+  if (options_.max_buffered_bytes > 0 || governor_ != nullptr) {
+    shed_shortfall();
     // In failure-tolerant mode the stall is bounded: past the deadline we
     // assume the importing program died without a departure notice,
     // force-close its connections (releasing the snapshots it pinned) and
@@ -367,9 +427,8 @@ void CouplingRuntime::export_region(const std::string& name, Timestamp t,
     // will ever be freed.
     const bool bounded = options_.failure_tolerance() && options_.stall_timeout_seconds > 0;
     const double stall_deadline = ctx_.now() + options_.stall_timeout_seconds;
-    while (region.state->buffered_bytes() + region.state->snapshot_bytes() >
-               options_.max_buffered_bytes &&
-           region.state->safe_to_stall() && !shutdown_seen_) {
+    while (over_limit() && region.state->safe_to_stall() && !shutdown_seen_) {
+      signal_pressure();
       const double stall_start = ctx_.now();
       std::optional<Message> m;
       if (bounded) {
@@ -389,11 +448,13 @@ void CouplingRuntime::export_region(const std::string& name, Timestamp t,
         handle_control(*m);
       }
       region.state->record_stall(ctx_.now() - stall_start);
+      shed_shortfall();
     }
   }
 
   region.state->on_export(t, data.data(), ctx_);
   region.state->record_export_duration(t, ctx_.now() - start);
+  signal_pressure();
 }
 
 CouplingRuntime::ImportTicket CouplingRuntime::import_request(const std::string& name,
@@ -407,6 +468,17 @@ CouplingRuntime::ImportTicket CouplingRuntime::import_request(const std::string&
               "import request timestamps must increase: " << x << " after "
                                                           << region.last_request);
   region.last_request = x;
+
+  // Collective backpressure response: the exporter announced it is over
+  // its buffer high watermark, so give it breathing room before asking
+  // for more (every rank throttles identically — the request itself stays
+  // collective and the answer unchanged).
+  if (options_.memory.importer_throttle_seconds > 0 &&
+      pressured_conns_.count(region.conn_id) > 0) {
+    ctx_.compute(options_.memory.importer_throttle_seconds);
+    ++region.stats.pressure_throttles;
+    region.stats.throttle_seconds += options_.memory.importer_throttle_seconds;
+  }
 
   const std::uint32_t seq = region.next_seq++;
   if (rank_ == 0) {
@@ -549,6 +621,9 @@ ProcStats CouplingRuntime::stats_snapshot() const {
   for (const auto& [name, region] : import_regions_) stats.imports.push_back(region.stats);
   stats.ft = ft_;
   stats.finished_at = finished_at_;
+  if (governor_ != nullptr) stats.governor = governor_->stats();
+  stats.pressure_signals = pressure_signals_;
+  stats.pressure_notices = pressure_notices_;
   return stats;
 }
 

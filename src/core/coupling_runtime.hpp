@@ -16,6 +16,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "core/config.hpp"
@@ -25,6 +26,8 @@
 #include "core/stats.hpp"
 #include "dist/dist_array.hpp"
 #include "dist/redistribute.hpp"
+#include "mem/governor.hpp"
+#include "mem/spill.hpp"
 
 namespace ccf::core {
 
@@ -129,6 +132,10 @@ class CouplingRuntime {
   /// already-consumed sequence numbers are discarded (counted as stale).
   void stash_answer(const AnswerMsg& answer);
 
+  /// Emits one ProcPressure control message to the rep per watermark
+  /// transition of the governor (no-op when ungoverned or level-stable).
+  void signal_pressure();
+
   /// Blocks for the answer to request `seq` on `region`, serving framework
   /// control traffic meanwhile (deadlock freedom for bidirectional
   /// couplings) and stashing answers that belong to other requests or
@@ -154,6 +161,14 @@ class CouplingRuntime {
   FaultToleranceStats ft_;
   double last_rep_seen_ = 0;  ///< ctx.now() of the last message from the rep
   double finished_at_ = 0;
+
+  // Buffer governance (src/mem; both null with the default MemoryOptions).
+  std::unique_ptr<mem::MemoryGovernor> governor_;
+  std::unique_ptr<mem::SpillStore> spill_;
+  std::uint64_t pressure_signals_ = 0;
+  std::uint64_t pressure_notices_ = 0;
+  /// Import connections whose exporter announced BufferPressure.
+  std::set<int> pressured_conns_;
 };
 
 }  // namespace ccf::core

@@ -19,6 +19,7 @@ ExportRegionState::ExportRegionState(std::string region_name, dist::Box local_bo
       rep_id_(rep_id),
       trace_("D", options.trace, options.trace_max_events) {
   stats_.region = name_;
+  pool_.set_arena_limits(options.memory.arena_capacity, options.memory.arena_max_bytes);
   conns_.reserve(conns.size());
   for (auto& cfg : conns) {
     CCF_REQUIRE(cfg.conn_id >= 0 && cfg.conn_id < 32, "connection id out of mask range");
@@ -178,6 +179,11 @@ void ExportRegionState::send_response(Conn& conn, std::uint32_t seq, const Match
 
 void ExportRegionState::send_data(Conn& conn, std::uint32_t seq, Timestamp match,
                                   ProcessContext& ctx) {
+  // A snapshot demoted to the spill tier comes back byte-identically
+  // before shipping — spilling is invisible on the wire. Shedding other
+  // snapshots first keeps the restore within the governor's budget.
+  if (const std::size_t need = pool_.restore_shortfall(match); need > 0) shed(need);
+  pool_.ensure_resident(match);
   // Sends source the pooled snapshot directly; a piece covering the whole
   // local box aliases the pooled wire frame (zero-copy fan-out).
   const BufferPool::SnapshotView snapshot = pool_.snapshot(match);
@@ -453,6 +459,33 @@ bool ExportRegionState::all_conns_closed() const {
     if (!c.closed) return false;
   }
   return true;
+}
+
+std::size_t ExportRegionState::shed(std::size_t bytes_needed) {
+  if (bytes_needed == 0 || !pool_.can_spill()) return 0;
+  // Classify every spillable resident snapshot by what the matcher state
+  // can prove about it (mem/eviction.hpp). The eager free paths already
+  // reclaimed everything provably non-matchable, so the classes seen here
+  // are FutureOnly / Candidate / Pinned.
+  std::vector<mem::EvictionCandidate> candidates;
+  for (Timestamp t : pool_.resident_timestamps()) {
+    if (!pool_.spillable(t)) continue;
+    mem::EvictClass cls = mem::EvictClass::FutureOnly;
+    for (const auto& c : conns_) {
+      for (const auto& ps : c.pending_sends) {
+        if (ps.match == t) cls = mem::EvictClass::Pinned;
+      }
+      if (cls == mem::EvictClass::Pinned) break;
+      for (const auto& o : c.outstanding) {
+        if (o.candidate && *o.candidate == t) cls = mem::EvictClass::Candidate;
+      }
+    }
+    candidates.push_back(mem::EvictionCandidate{t, pool_.data_bytes(t), cls});
+  }
+  const mem::EvictionPlan plan = mem::plan_evictions(std::move(candidates), bytes_needed);
+  std::size_t reclaimed = 0;
+  for (const auto& v : plan.victims) reclaimed += pool_.spill_out(v.t);
+  return reclaimed;
 }
 
 bool ExportRegionState::safe_to_stall() const {

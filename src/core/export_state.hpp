@@ -33,6 +33,7 @@
 #include "core/trace.hpp"
 #include "dist/schedule.hpp"
 #include "dist/transfer_stats.hpp"
+#include "mem/eviction.hpp"
 #include "runtime/process_context.hpp"
 
 namespace ccf::core {
@@ -91,7 +92,20 @@ class ExportRegionState {
   /// unconnected mode. Returns the number of connections closed.
   std::size_t degrade_open_conns(ProcessContext& ctx);
 
-  /// Live buffered bytes in this region's pool.
+  /// Wires the process-wide memory governor and spill store into this
+  /// region's pool (both may be null). Called by the runtime right after
+  /// construction, before any export.
+  void attach_memory(mem::MemoryGovernor* governor, mem::SpillStore* spill) {
+    pool_.attach_memory(governor, spill);
+  }
+
+  /// Demotes resident snapshots to the spill tier (decidability-ranked;
+  /// see mem/eviction.hpp) until `bytes_needed` resident bytes are
+  /// reclaimed or nothing spillable remains. Returns bytes reclaimed.
+  /// No-op without a spill store.
+  std::size_t shed(std::size_t bytes_needed);
+
+  /// Live *resident* buffered bytes in this region's pool.
   std::size_t buffered_bytes() const { return pool_.stats().live_bytes; }
 
   /// Bytes one snapshot of this process's block occupies.

@@ -2,8 +2,49 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace ccf::core {
+
+/// Buffer-governance knobs (src/mem, docs/MEMORY.md). With the defaults
+/// every knob is off and the framework buffers exactly as the ungoverned
+/// baseline — byte for byte.
+struct MemoryOptions {
+  /// Per-process byte budget for resident snapshot frames, spanning all
+  /// of the process's exported regions. 0 = governance off.
+  std::size_t budget_bytes = 0;
+
+  /// Watermarks as fractions of the budget (0 <= low <= high <= 1).
+  /// Crossing `high` raises collective BufferPressure (PROTOCOL.md);
+  /// pressure clears once usage falls back to `low` — the hysteresis band
+  /// keeps the control traffic from flapping.
+  double low_watermark = 0.5;
+  double high_watermark = 0.9;
+
+  /// Directory for the file-backed spill tier. When set, cold-but-still-
+  /// matchable snapshots are demoted to disk instead of stalling the
+  /// exporter, and restored byte-identically on a late MATCH. "" = no
+  /// spill tier (the exporter stalls or soft-exceeds instead).
+  std::string spill_directory;
+
+  /// Extra modeled compute an importing process performs before issuing a
+  /// request on a connection whose exporter announced BufferPressure.
+  /// 0 = pressure notices are recorded but do not throttle.
+  double importer_throttle_seconds = 0;
+
+  /// Max frames parked on the BufferPool free-list arena awaiting reuse
+  /// (the PR 3 recycling arena). Frames beyond the cap are released to
+  /// the heap instead of parked.
+  std::size_t arena_capacity = 8;
+
+  /// Byte cap across all parked arena frames; 0 = no byte cap. Bounds the
+  /// arena across phase changes, where snapshot sizes grow and best-fit
+  /// would otherwise accumulate the largest frames forever.
+  std::size_t arena_max_bytes = 0;
+
+  /// True when the budget (and with it the governor) is active.
+  bool governed() const { return budget_bytes > 0; }
+};
 
 struct FrameworkOptions {
   /// The paper's optimization (§4.1). When the rep answers a request from
@@ -26,6 +67,10 @@ struct FrameworkOptions {
   /// snapshots; importer departures release whole connections) until the
   /// new snapshot fits. Stall counts/time are recorded in the stats.
   std::size_t max_buffered_bytes = 0;
+
+  /// Buffer governance: budget, watermarks, spill tier, backpressure
+  /// throttle, and arena caps. All off by default.
+  MemoryOptions memory;
 
   // --- failure tolerance -------------------------------------------------
   // Everything below defaults to "off": with the defaults, the protocol

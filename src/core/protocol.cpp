@@ -83,6 +83,22 @@ ConnMsg ConnMsg::decode(const Payload& p) {
   return m;
 }
 
+Payload PressureMsg::encode() const {
+  Writer w;
+  w.put(conn);
+  w.put(level);
+  return w.take();
+}
+
+PressureMsg PressureMsg::decode(const Payload& p) {
+  Reader r(p);
+  PressureMsg m;
+  m.conn = r.get<std::uint32_t>();
+  m.level = r.get<std::uint8_t>();
+  CCF_CHECK(r.exhausted(), "trailing bytes in PressureMsg");
+  return m;
+}
+
 void RegionMeta::encode_into(Writer& w) const {
   w.put_string(name);
   w.put(rows);

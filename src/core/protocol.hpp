@@ -42,6 +42,13 @@ inline constexpr Tag kTagRepHeartbeat = 0x10000E;    ///< rep -> own procs: live
 inline constexpr Tag kTagMetaNudge = 0x10000F;       ///< proc -> own rep: resend meta bcast
 inline constexpr Tag kTagMetaAck = 0x100010;         ///< proc -> own rep: meta bcast received
 inline constexpr Tag kTagPeerMetaAck = 0x100011;     ///< rep -> peer rep: peer meta received
+// BufferPressure (docs/MEMORY.md; collective backpressure, Property 1
+// aggregation): exporter procs report watermark crossings to their rep,
+// which aggregates program-wide (any rank over the high watermark puts the
+// program under pressure) and notifies the importer side per connection.
+inline constexpr Tag kTagProcPressure = 0x100012;    ///< exporter proc -> own rep
+inline constexpr Tag kTagPressure = 0x100013;        ///< exporter rep -> importer rep
+inline constexpr Tag kTagPressureBcast = 0x100014;   ///< importer rep -> own procs
 
 inline constexpr Tag kTagDataBase = 0x200000;
 
@@ -95,6 +102,17 @@ struct ConnMsg {
 
   Payload encode() const;
   static ConnMsg decode(const Payload& p);
+};
+
+/// BufferPressure level change. proc -> rep: `conn` is unused (pressure is
+/// per-process, spanning regions) and set to 0. rep -> rep and rep ->
+/// procs: `conn` names the connection whose exporter changed level.
+struct PressureMsg {
+  std::uint32_t conn = 0;
+  std::uint8_t level = 0;  ///< 1 = under pressure, 0 = cleared
+
+  Payload encode() const;
+  static PressureMsg decode(const Payload& p);
 };
 
 /// Region geometry, exchanged between reps at commit time so each side can

@@ -120,6 +120,38 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
     if (deferred) conn_closed_pending.insert(conn);
   };
 
+  // --- collective BufferPressure (docs/MEMORY.md) ---------------------------
+  // Property-1-style aggregation over the program's ranks: any rank over
+  // its high watermark puts the whole program under pressure (its part of
+  // every snapshot must be buffered for the collective export to stay
+  // shippable). Only *transitions* of the aggregate are propagated, one
+  // Pressure note per exporting connection. Pressure is advisory — a lost
+  // note merely costs throttling accuracy, never correctness — so the
+  // notes ride the fabric without retry machinery.
+  std::set<int> pressured_ranks;
+  bool program_pressure = false;
+  auto on_proc_pressure = [&](const Message& m) {
+    const PressureMsg msg = PressureMsg::decode(m.payload);
+    const int rank = static_cast<int>(m.src - pl.first);
+    ++result.pressure_signals;
+    if (msg.level != 0) {
+      pressured_ranks.insert(rank);
+    } else {
+      pressured_ranks.erase(rank);
+    }
+    const bool now = !pressured_ranks.empty();
+    if (now == program_pressure) return;
+    program_pressure = now;
+    for (int conn : export_conns) {
+      ctx.send(peer_rep_of(conn),
+               kTagPressure,
+               PressureMsg{static_cast<std::uint32_t>(conn),
+                           static_cast<std::uint8_t>(now ? 1 : 0)}
+                   .encode());
+      ++result.pressure_notices;
+    }
+  };
+
   // Importer-side answer cache: replays the ImportAnswer broadcast when a
   // proc retries a request whose answer already came back (the original
   // broadcast — or the proc's request — was lost). Grows with the number
@@ -492,6 +524,18 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
       case kTagMetaAck:
         meta_acked.insert(m.src);
         break;
+      case kTagProcPressure:
+        on_proc_pressure(m);
+        break;
+      case kTagPressure: {
+        // The exporter side of one of our import connections changed
+        // pressure level: relay to our procs so they throttle requests.
+        const PressureMsg msg = PressureMsg::decode(m.payload);
+        const transport::Payload payload = msg.encode();
+        for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagPressureBcast, payload);
+        ++result.pressure_broadcasts;
+        break;
+      }
       default:
         throw util::InternalError("rep of " + program_name + " got unexpected tag " +
                                   std::to_string(m.tag));

@@ -33,6 +33,12 @@ struct RepResult {
   std::uint64_t meta_resends = 0;        ///< geometry re-shipped after a nudge
   std::uint64_t forward_resends = 0;     ///< ProcForwards re-sent to silent ranks
 
+  // Collective BufferPressure accounting (docs/MEMORY.md; zero unless a
+  // memory budget is configured somewhere in the coupled system).
+  std::uint64_t pressure_signals = 0;    ///< ProcPressure edges from own procs
+  std::uint64_t pressure_notices = 0;    ///< Pressure notes sent to importer reps
+  std::uint64_t pressure_broadcasts = 0; ///< PressureBcast fan-outs to own procs
+
   /// Observation hook: every collective answer determined on exported
   /// connections, ordered by (connection, determination order). The model-
   /// checking conformance checker compares this against the oracle.

@@ -25,14 +25,18 @@ void print_run_report(const CoupledSystem& system, std::ostream& os) {
 
     if (any_exports) {
       util::TableWriter table({"rank", "region", "exports", "memcpys", "skips", "transfers",
-                               "helps", "stalls", "T_ub ms", "cp/B"});
+                               "helps", "stalls", "T_ub ms", "cp/B", "peakB", "evict",
+                               "spillB"});
       for (int r = 0; r < prog.nprocs; ++r) {
         for (const auto& e : system.proc_stats(prog.name, r).exports) {
           table.add_row({std::to_string(r), e.region, std::to_string(e.exports),
                          std::to_string(e.buffer.stores), std::to_string(e.buffer.skips),
                          std::to_string(e.transfers), std::to_string(e.buddy_helps_received),
                          std::to_string(e.stalls), util::TableWriter::fmt(e.t_ub() * 1e3, 3),
-                         util::TableWriter::fmt(e.copies_per_delivered_byte(), 2)});
+                         util::TableWriter::fmt(e.copies_per_delivered_byte(), 2),
+                         std::to_string(e.buffer.peak_bytes),
+                         std::to_string(e.buffer.evictions),
+                         std::to_string(e.buffer.spill_bytes)});
         }
       }
       if (table.rows() > 0) table.print(os);
@@ -85,7 +89,8 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                  "transfers", "helps", "stalls", "t_ub_seconds", "imports", "matches",
                  "no_matches", "dup_requests", "reordered_requests", "degraded_conns",
                  "request_retries", "stale_answers", "bytes_delivered", "bytes_pack_copied",
-                 "copies_per_byte", "sends_aliased", "sends_packed"});
+                 "copies_per_byte", "sends_aliased", "sends_packed", "peak_buffered_bytes",
+                 "evictions", "spill_bytes", "restores"});
   for (const auto& prog : system.config().programs()) {
     for (int r = 0; r < prog.nprocs; ++r) {
       const ProcStats& stats = system.proc_stats(prog.name, r);
@@ -100,14 +105,19 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                        std::to_string(e.degraded_conns), "0", "0",
                        std::to_string(e.bytes_delivered), std::to_string(e.bytes_pack_copied),
                        util::TableWriter::fmt(e.copies_per_delivered_byte(), 4),
-                       std::to_string(e.sends_aliased), std::to_string(e.sends_packed)});
+                       std::to_string(e.sends_aliased), std::to_string(e.sends_packed),
+                       std::to_string(e.buffer.peak_bytes),
+                       std::to_string(e.buffer.evictions),
+                       std::to_string(e.buffer.spill_bytes),
+                       std::to_string(e.buffer.restores)});
       }
       for (const auto& i : stats.imports) {
         csv.write_row({prog.name, std::to_string(r), "import", i.region, "0", "0", "0", "0",
                        "0", "0", "0", std::to_string(i.imports), std::to_string(i.matches),
                        std::to_string(i.no_matches), "0", "0", "0",
                        std::to_string(stats.ft.request_retries),
-                       std::to_string(stats.ft.stale_answers), "0", "0", "0", "0", "0"});
+                       std::to_string(stats.ft.stale_answers), "0", "0", "0", "0", "0", "0",
+                       "0", "0", "0"});
       }
     }
   }

@@ -14,6 +14,7 @@
 
 #include "core/buffer_pool.hpp"
 #include "core/timestamp.hpp"
+#include "mem/governor.hpp"
 
 namespace ccf::core {
 
@@ -79,6 +80,11 @@ struct ImportRegionStats {
   std::uint64_t no_matches = 0;
   std::vector<double> import_seconds;
   std::vector<Timestamp> matched_timestamps;
+
+  /// Collective BufferPressure response (MemoryOptions::
+  /// importer_throttle_seconds; zero unless the exporter is governed).
+  std::uint64_t pressure_throttles = 0;
+  double throttle_seconds = 0;
 };
 
 /// Per-process failure-tolerance accounting (see FrameworkOptions).
@@ -97,6 +103,11 @@ struct ProcStats {
   std::vector<ImportRegionStats> imports;
   FaultToleranceStats ft;
   double finished_at = 0;  ///< ctx.now() when the process body completed
+
+  /// Process-wide memory-governor accounting (zero when ungoverned).
+  mem::GovernorStats governor;
+  std::uint64_t pressure_signals = 0;  ///< ProcPressure edges sent to the rep
+  std::uint64_t pressure_notices = 0;  ///< PressureBcast level changes received
 };
 
 }  // namespace ccf::core

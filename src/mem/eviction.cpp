@@ -1,0 +1,27 @@
+#include "mem/eviction.hpp"
+
+#include <algorithm>
+
+namespace ccf::mem {
+
+EvictionPlan plan_evictions(std::vector<EvictionCandidate> candidates,
+                            std::size_t bytes_needed) {
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const EvictionCandidate& a, const EvictionCandidate& b) {
+                     if (a.cls != b.cls) return a.cls < b.cls;
+                     // FutureOnly: coldest (lowest) timestamps first.
+                     // Candidate: latest-resolving (highest) timestamps first.
+                     if (a.cls == EvictClass::Candidate) return a.t > b.t;
+                     return a.t < b.t;
+                   });
+  EvictionPlan plan;
+  for (const EvictionCandidate& c : candidates) {
+    if (plan.planned_bytes >= bytes_needed) break;
+    if (c.cls == EvictClass::Pinned) continue;
+    plan.victims.push_back(c);
+    plan.planned_bytes += c.bytes;
+  }
+  return plan;
+}
+
+}  // namespace ccf::mem

@@ -1,0 +1,63 @@
+// Decidability-driven eviction planning (mirrors the paper's minimal-copy
+// reasoning, §4.1).
+//
+// When a governed exporter must reclaim resident bytes, not all buffered
+// snapshots are equal. The export-side state machine classifies each
+// resident snapshot by what the REGL/REGU/REG evaluator (plus buddy-help
+// answers) can prove about it:
+//
+//   NeverMatch — provably non-matchable by any current or future request.
+//                The eager free paths normally reclaim these on the spot;
+//                the planner lists the class first as a safety net, and
+//                these are *freed*, not spilled.
+//   FutureOnly — kept only because a hypothetical future request's region
+//                could still reach down to it. Requests advance
+//                monotonically, so the lowest timestamps are the least
+//                likely to ever be named: spilled first, coldest first.
+//   Candidate  — the current best candidate of an outstanding request; it
+//                ships the moment the request resolves MATCH. Spilled only
+//                as a last resort; candidates of *later* requests resolve
+//                later, so higher timestamps go first.
+//   Pinned     — an announced match awaiting shipment. Never evicted: the
+//                send is imminent and a spill round-trip would only add a
+//                copy.
+//
+// The planner is a pure function over this classification so the ranking
+// is unit-testable without a running protocol.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/timestamp.hpp"
+
+namespace ccf::mem {
+
+enum class EvictClass : std::uint8_t {
+  NeverMatch = 0,
+  FutureOnly = 1,
+  Candidate = 2,
+  Pinned = 3,
+};
+
+struct EvictionCandidate {
+  core::Timestamp t = 0;
+  std::size_t bytes = 0;
+  EvictClass cls = EvictClass::FutureOnly;
+};
+
+struct EvictionPlan {
+  /// Victims in eviction order; never contains a Pinned entry.
+  std::vector<EvictionCandidate> victims;
+  /// Total bytes the victims reclaim (may fall short of the request when
+  /// too much is pinned — the caller then falls back to backpressure).
+  std::size_t planned_bytes = 0;
+};
+
+/// Ranks `candidates` and selects victims until `bytes_needed` is covered
+/// (or the evictable classes are exhausted).
+EvictionPlan plan_evictions(std::vector<EvictionCandidate> candidates,
+                            std::size_t bytes_needed);
+
+}  // namespace ccf::mem

@@ -1,0 +1,122 @@
+// Per-process buffer-memory governance (ROADMAP: bounded-memory exporting).
+//
+// The paper's cost model makes export-side buffering the dominant cost of
+// loose coupling, but the seed implementation buffers without any budget:
+// a slow or stalled importer grows exporter memory without bound. The
+// MemoryGovernor gives each exporting process a byte budget for resident
+// snapshot frames, with low/high watermarks that drive the collective
+// BufferPressure protocol (see docs/MEMORY.md):
+//
+//   * every BufferPool charges its resident snapshot bytes here, so the
+//     budget spans all exported regions of the process;
+//   * crossing the high watermark raises "pressure" (the process tells its
+//     rep, which aggregates across ranks and notifies connected importing
+//     programs so they throttle request rates);
+//   * pressure clears only once usage falls back below the low watermark —
+//     the hysteresis band keeps the control traffic from flapping.
+//
+// The governor is pure accounting: it never blocks and never frees
+// anything itself. Deciding *what* to reclaim is the eviction planner's
+// job (mem/eviction.hpp); deciding *when* to stall is the runtime's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace ccf::mem {
+
+struct GovernorStats {
+  std::size_t charged_bytes = 0;       ///< currently resident (charged) bytes
+  std::size_t peak_charged_bytes = 0;  ///< high-water mark over the run
+  std::uint64_t pressure_raises = 0;   ///< off -> on transitions
+  std::uint64_t pressure_clears = 0;   ///< on -> off transitions
+  std::uint64_t budget_denials = 0;    ///< would_fit() calls answered "no"
+};
+
+class MemoryGovernor {
+ public:
+  /// `budget_bytes` caps resident snapshot bytes across the process's
+  /// regions. Watermarks are fractions of the budget with low <= high.
+  MemoryGovernor(std::size_t budget_bytes, double low_watermark, double high_watermark)
+      : budget_(budget_bytes),
+        low_bytes_(static_cast<std::size_t>(low_watermark * static_cast<double>(budget_bytes))),
+        high_bytes_(
+            static_cast<std::size_t>(high_watermark * static_cast<double>(budget_bytes))) {
+    CCF_REQUIRE(budget_bytes > 0, "memory budget must be positive");
+    CCF_REQUIRE(low_watermark >= 0 && low_watermark <= high_watermark && high_watermark <= 1.0,
+                "watermarks must satisfy 0 <= low <= high <= 1, got low="
+                    << low_watermark << " high=" << high_watermark);
+  }
+
+  std::size_t budget_bytes() const { return budget_; }
+
+  /// True when a new resident allocation of `bytes` stays within budget.
+  bool would_fit(std::size_t bytes) {
+    if (stats_.charged_bytes + bytes <= budget_) return true;
+    ++stats_.budget_denials;
+    return false;
+  }
+
+  /// Bytes that must be reclaimed before `bytes` more can become resident
+  /// (0 when it already fits).
+  std::size_t shortfall(std::size_t bytes) const {
+    const std::size_t want = stats_.charged_bytes + bytes;
+    return want > budget_ ? want - budget_ : 0;
+  }
+
+  /// Accounts `bytes` becoming resident. Charging may exceed the budget:
+  /// the runtime deliberately soft-exceeds when stalling would deadlock
+  /// the collective protocol (see CouplingRuntime::export_region).
+  void charge(std::size_t bytes) {
+    stats_.charged_bytes += bytes;
+    if (stats_.charged_bytes > stats_.peak_charged_bytes) {
+      stats_.peak_charged_bytes = stats_.charged_bytes;
+    }
+    update_pressure();
+  }
+
+  /// Accounts `bytes` leaving residency (freed or spilled).
+  void release(std::size_t bytes) {
+    CCF_CHECK(bytes <= stats_.charged_bytes,
+              "governor release of " << bytes << " bytes exceeds charged "
+                                     << stats_.charged_bytes);
+    stats_.charged_bytes -= bytes;
+    update_pressure();
+  }
+
+  /// Current pressure level (with hysteresis): raised at the high
+  /// watermark, cleared at the low watermark.
+  bool under_pressure() const { return pressure_; }
+
+  /// True when the pressure level changed since the last call — the
+  /// runtime polls this to emit exactly one control message per edge.
+  bool consume_pressure_edge() {
+    const bool edge = pressure_ != signaled_pressure_;
+    signaled_pressure_ = pressure_;
+    return edge;
+  }
+
+  const GovernorStats& stats() const { return stats_; }
+
+ private:
+  void update_pressure() {
+    if (!pressure_ && stats_.charged_bytes >= high_bytes_) {
+      pressure_ = true;
+      ++stats_.pressure_raises;
+    } else if (pressure_ && stats_.charged_bytes <= low_bytes_) {
+      pressure_ = false;
+      ++stats_.pressure_clears;
+    }
+  }
+
+  std::size_t budget_;
+  std::size_t low_bytes_;
+  std::size_t high_bytes_;
+  bool pressure_ = false;
+  bool signaled_pressure_ = false;
+  GovernorStats stats_;
+};
+
+}  // namespace ccf::mem

@@ -161,6 +161,39 @@ void check_buffer_lifetimes(const Scenario& s, const Observation& obs,
   }
 }
 
+void check_memory(const Scenario& s, const Observation& obs, std::vector<std::string>& out) {
+  for (std::size_t rank = 0; rank < obs.exporter_stats.size(); ++rank) {
+    for (const auto& es : obs.exporter_stats[rank].exports) {
+      const auto& b = es.buffer;
+      if (s.budget_snapshots == 0) {
+        if (b.evictions != 0 || b.restores != 0 || b.spill_bytes != 0) {
+          std::ostringstream os;
+          os << "memory: ungoverned exporter rank " << rank << " evicted (" << b.evictions
+             << " evictions, " << b.spill_bytes << " spill bytes)";
+          out.push_back(os.str());
+        }
+        continue;
+      }
+      // Spill books: every demoted snapshot is eventually restored (late
+      // MATCH), freed on disk (proven non-matchable), or still live —
+      // and nothing may remain on disk once the run completed.
+      if (b.evictions != b.restores + b.spill_frees + b.live_spilled_entries) {
+        std::ostringstream os;
+        os << "memory: exporter rank " << rank << " spill books do not balance ("
+           << b.evictions << " evictions != " << b.restores << " restores + " << b.spill_frees
+           << " spill-frees + " << b.live_spilled_entries << " live)";
+        out.push_back(os.str());
+      }
+      if (!s.faults.enabled && b.live_spilled_entries != 0) {
+        std::ostringstream os;
+        os << "memory: exporter rank " << rank << " ended with " << b.live_spilled_entries
+           << " snapshots still in the spill tier";
+        out.push_back(os.str());
+      }
+    }
+  }
+}
+
 void check_buddy_help(const Scenario& s, const Observation& obs,
                       std::vector<std::string>& out) {
   std::uint64_t received = 0;
@@ -199,6 +232,7 @@ std::vector<std::string> check_conformance(const Scenario& s, const Observation&
   check_monotone(obs, out);
   check_exporter_events(s, obs, oracle, out);
   check_buffer_lifetimes(s, obs, out);
+  check_memory(s, obs, out);
   check_buddy_help(s, obs, out);
   return out;
 }

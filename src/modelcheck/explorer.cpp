@@ -1,5 +1,7 @@
 #include "modelcheck/explorer.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <memory>
 
 #include "core/system.hpp"
@@ -50,6 +52,28 @@ Observation run_scenario(const Scenario& s) {
   config.add_program(ProgramSpec{"I", "h", "/i", s.importer_procs, {}});
   config.add_connection(ConnectionSpec{"E", "r", "I", "r", s.policy, s.tolerance, {}});
 
+  const auto rows = static_cast<dist::Index>(s.rows);
+  const auto cols = static_cast<dist::Index>(s.cols);
+  const auto e_decomp = BlockDecomposition::make_grid(rows, cols, s.exporter_procs);
+  const auto i_decomp = BlockDecomposition::make_grid(rows, cols, s.importer_procs);
+
+  FrameworkOptions fw = framework_options(s);
+  std::filesystem::path spill_dir;
+  if (s.budget_snapshots > 0) {
+    // Budget in units of the largest exporter block, so a budget of N
+    // snapshots means the same degree of eviction pressure on every rank.
+    std::size_t max_block_bytes = 0;
+    for (int r = 0; r < s.exporter_procs; ++r) {
+      max_block_bytes = std::max(
+          max_block_bytes,
+          static_cast<std::size_t>(e_decomp.box_of(r).count()) * sizeof(double));
+    }
+    fw.memory.budget_bytes = static_cast<std::size_t>(s.budget_snapshots) * max_block_bytes;
+    spill_dir = std::filesystem::temp_directory_path() /
+                ("ccf_mc_spill_" + std::to_string(s.seed));
+    fw.memory.spill_directory = spill_dir.string();
+  }
+
   runtime::ClusterOptions cluster_options;
   cluster_options.mode = runtime::ExecutionMode::VirtualTime;
   cluster_options.latency = std::make_shared<const transport::FixedLatency>(s.latency_seconds);
@@ -70,12 +94,7 @@ Observation run_scenario(const Scenario& s) {
     faults = std::make_shared<FaultInjector>(plan);
     cluster_options.faults = faults;
   }
-  CoupledSystem system(config, cluster_options, framework_options(s));
-
-  const auto rows = static_cast<dist::Index>(s.rows);
-  const auto cols = static_cast<dist::Index>(s.cols);
-  const auto e_decomp = BlockDecomposition::make_grid(rows, cols, s.exporter_procs);
-  const auto i_decomp = BlockDecomposition::make_grid(rows, cols, s.importer_procs);
+  CoupledSystem system(config, cluster_options, fw);
 
   system.set_program_body("E", [&](CouplingRuntime& rt, runtime::ProcessContext& ctx) {
     rt.define_export_region("r", e_decomp);
@@ -119,8 +138,12 @@ Observation run_scenario(const Scenario& s) {
     obs.completed = true;
   } catch (const std::exception& e) {
     obs.error = e.what();
+    if (!spill_dir.empty()) std::filesystem::remove_all(spill_dir);
     return obs;  // stats/traces are unreliable after a failed run
   }
+  // Spill files themselves are cleaned up by each SpillStore's destructor
+  // when the runtimes die; only the per-scenario directory remains.
+  if (!spill_dir.empty()) std::filesystem::remove_all(spill_dir);
 
   for (int r = 0; r < s.exporter_procs; ++r) {
     obs.exporter_stats.push_back(system.proc_stats("E", r));

@@ -67,6 +67,12 @@ Scenario generate_scenario(std::uint64_t seed) {
     s.faults.delay_min_seconds = 0.02;
     s.faults.delay_max_seconds = 0.2;
   }
+
+  // Memory-governance knob, drawn last so every earlier field of a given
+  // seed is identical to what pre-governance builds generated (failing
+  // seeds stay replayable across versions). Tight budgets (1 snapshot)
+  // force eviction on nearly every buffered export.
+  if (rng.uniform() < 0.4) s.budget_snapshots = 1 + static_cast<int>(rng.below(4));
   return s;
 }
 
@@ -74,7 +80,8 @@ std::string describe(const Scenario& s) {
   std::ostringstream os;
   os << "seed=" << s.seed << " policy=" << core::to_string(s.policy) << " tol=" << s.tolerance
      << " eprocs=" << s.exporter_procs << " iprocs=" << s.importer_procs
-     << " buddy_help=" << (s.buddy_help ? 1 : 0);
+     << " buddy_help=" << (s.buddy_help ? 1 : 0)
+     << " budget_snapshots=" << s.budget_snapshots;
   os << " exports=[";
   for (std::size_t i = 0; i < s.exports.size(); ++i) os << (i ? " " : "") << s.exports[i];
   os << "] requests=[";

@@ -55,6 +55,11 @@ struct Scenario {
   long rows = 6;
   long cols = 6;
   double latency_seconds = 1e-3;
+  /// Buffer governance (src/mem): when > 0, every exporter process runs
+  /// with a memory budget of this many snapshots of its largest block and
+  /// a spill store, exercising eviction/restore under the conformance
+  /// oracle — governance must never change a collective answer.
+  int budget_snapshots = 0;
 };
 
 /// Deterministically derives a Scenario from a seed: mixed policies,

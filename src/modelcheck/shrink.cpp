@@ -11,7 +11,8 @@ namespace {
 std::size_t weight(const Scenario& s) {
   return s.exports.size() + s.requests.size() +
          static_cast<std::size_t>(s.exporter_procs + s.importer_procs) +
-         (s.faults.enabled ? 1 : 0) + (s.buddy_help ? 1 : 0);
+         (s.faults.enabled ? 1 : 0) + (s.buddy_help ? 1 : 0) +
+         (s.budget_snapshots > 0 ? 1 : 0);
 }
 
 struct Search {
@@ -69,6 +70,15 @@ void structural_passes(Search& search) {
     Scenario c = search.best.scenario;
     if (c.buddy_help) {
       c.buddy_help = false;
+      search.try_candidate(c);
+    }
+  }
+  {
+    // Governance must be answer-invisible, so most failures reproduce
+    // without it — dropping it first makes the shrunk scenario readable.
+    Scenario c = search.best.scenario;
+    if (c.budget_snapshots > 0) {
+      c.budget_snapshots = 0;
       search.try_candidate(c);
     }
   }

@@ -48,6 +48,10 @@ MicrobenchResult run_microbench(const MicrobenchParams& params) {
   if (params.buffer_cap_snapshots > 0) {
     fw.max_buffered_bytes = params.buffer_cap_snapshots * slow_block_bytes;
   }
+  if (params.memory_budget_snapshots > 0) {
+    fw.memory.budget_bytes = params.memory_budget_snapshots * slow_block_bytes;
+    fw.memory.spill_directory = params.spill_directory;
+  }
 
   const int num_requests = static_cast<int>(std::floor(
       (params.export_t0 + params.num_exports * params.export_dt) / params.request_stride));
@@ -104,6 +108,7 @@ MicrobenchResult run_microbench(const MicrobenchParams& params) {
     result.exporter_stats.push_back(stats.exports[0]);
   }
   result.slow_stats = result.exporter_stats[static_cast<std::size_t>(slow_rank)];
+  result.slow_governor = system.proc_stats("F", slow_rank).governor;
   result.slow_export_seconds = result.slow_stats.export_seconds;
   result.slow_export_timestamps = result.slow_stats.export_timestamps;
   result.slow_trace = system.trace_listing("F", slow_rank, "r1");

@@ -61,6 +61,15 @@ struct MicrobenchParams {
   /// local block (0 = unlimited). See FrameworkOptions::max_buffered_bytes.
   std::size_t buffer_cap_snapshots = 0;
 
+  /// Bounded-memory governance (MemoryOptions): resident-snapshot budget
+  /// per exporter process, in snapshots of its local block (0 = off).
+  /// Unlike buffer_cap_snapshots — which stalls the exporter at the cap —
+  /// the governor demotes cold snapshots to the spill tier and keeps the
+  /// exporter running.
+  std::size_t memory_budget_snapshots = 0;
+  /// Spill-tier directory ("" = no spill tier: stall or soft-exceed).
+  std::string spill_directory;
+
   runtime::ExecutionMode mode = runtime::ExecutionMode::VirtualTime;
   /// Per-message network latency as a multiple of the copy cost C. On the
   /// paper's testbed (2 MB blocks, GigE) latency was ~0.036 C; expressing
@@ -80,6 +89,7 @@ struct MicrobenchResult {
 
   core::ExportRegionStats slow_stats;                ///< p_s, region r1
   std::vector<core::ExportRegionStats> exporter_stats;  ///< all F ranks
+  mem::GovernorStats slow_governor;  ///< p_s's process-wide governor accounting
   core::ImportRegionStats importer_rank0_stats;
   core::RepResult exporter_rep;
 

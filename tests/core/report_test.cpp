@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -14,12 +15,13 @@ namespace {
 using dist::BlockDecomposition;
 using dist::DistArray2D;
 
-CoupledSystem run_small_system() {
+CoupledSystem run_small_system(FrameworkOptions options = {},
+                               double importer_delay_seconds = 0) {
   Config config;
   config.add_program(ProgramSpec{"E", "h", "/e", 2, {}});
   config.add_program(ProgramSpec{"I", "h", "/i", 1, {}});
   config.add_connection(ConnectionSpec{"E", "field", "I", "field", MatchPolicy::REGL, 0.5});
-  CoupledSystem system(config, runtime::ClusterOptions{}, FrameworkOptions{});
+  CoupledSystem system(config, runtime::ClusterOptions{}, options);
   const auto e_decomp = BlockDecomposition::make_grid(8, 8, 2);
   const auto i_decomp = BlockDecomposition::make_grid(8, 8, 1);
   system.set_program_body("E", [e_decomp](CouplingRuntime& rt, runtime::ProcessContext&) {
@@ -29,9 +31,13 @@ CoupledSystem run_small_system() {
     for (int k = 1; k <= 10; ++k) rt.export_region("field", k, data);
     rt.finalize();
   });
-  system.set_program_body("I", [i_decomp](CouplingRuntime& rt, runtime::ProcessContext&) {
+  system.set_program_body("I", [i_decomp, importer_delay_seconds](
+                                   CouplingRuntime& rt, runtime::ProcessContext& ctx) {
     rt.define_import_region("field", i_decomp);
     rt.commit();
+    // A slow importer lets the exporter run ahead and buffer snapshots,
+    // which is what drives the governor's eviction path.
+    if (importer_delay_seconds > 0) ctx.compute(importer_delay_seconds);
     DistArray2D<double> data(i_decomp, rt.rank());
     (void)rt.import_region("field", 5.0, data);
     (void)rt.import_region("field", 9.0, data);
@@ -71,6 +77,61 @@ TEST(RunReport, CsvHasHeaderAndOneRowPerProcRegion) {
   EXPECT_NE(lines[1].find("E,0,export,field"), std::string::npos);
   EXPECT_NE(lines[3].find("I,0,import,field"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(RunReport, TableShowsMemoryGovernanceColumns) {
+  const CoupledSystem system = run_small_system();
+  std::ostringstream os;
+  print_run_report(system, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("peakB"), std::string::npos);
+  EXPECT_NE(out.find("evict"), std::string::npos);
+  EXPECT_NE(out.find("spillB"), std::string::npos);
+}
+
+// Golden cross-check: the CSV's governance fields must equal the stats
+// snapshot, field for field, on a governed run that actually evicts.
+TEST(RunReport, CsvGovernanceFieldsMatchStatsOnGovernedRun) {
+  namespace fs = std::filesystem;
+  const fs::path spill_dir = fs::temp_directory_path() / "ccf_report_gov_spill";
+  FrameworkOptions options;
+  // Each exporter rank holds a 4x8 block = 32 doubles = 256 bytes per
+  // snapshot; a one-snapshot budget forces eviction on the second store.
+  options.memory.budget_bytes = 256;
+  options.memory.spill_directory = spill_dir.string();
+  const CoupledSystem system = run_small_system(options, /*importer_delay_seconds=*/1.0);
+
+  const std::string path = "/tmp/ccf_report_gov_test.csv";
+  write_run_report_csv(system, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("peak_buffered_bytes,evictions,spill_bytes,restores"),
+            std::string::npos);
+
+  for (int r = 0; r < 2; ++r) {
+    const ProcStats stats = system.proc_stats("E", r);
+    ASSERT_EQ(stats.exports.size(), 1u);
+    const BufferStats& buf = stats.exports[0].buffer;
+    EXPECT_GT(buf.evictions, 0u);
+    EXPECT_GT(buf.spill_bytes, 0u);
+    EXPECT_LE(buf.peak_bytes, options.memory.budget_bytes);
+    // The row's last four fields are the governance columns, in order.
+    std::vector<std::string> fields;
+    std::stringstream row(lines[1 + r]);
+    std::string field;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    ASSERT_GE(fields.size(), 4u);
+    EXPECT_EQ(fields[fields.size() - 4], std::to_string(buf.peak_bytes));
+    EXPECT_EQ(fields[fields.size() - 3], std::to_string(buf.evictions));
+    EXPECT_EQ(fields[fields.size() - 2], std::to_string(buf.spill_bytes));
+    EXPECT_EQ(fields[fields.size() - 1], std::to_string(buf.restores));
+  }
+  std::remove(path.c_str());
+  fs::remove_all(spill_dir);
 }
 
 TEST(CopyCostMeasure, HostCalibrationIsPlausible) {

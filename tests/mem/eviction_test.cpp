@@ -1,0 +1,89 @@
+#include "mem/eviction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccf::mem {
+namespace {
+
+EvictionCandidate cand(double t, std::size_t bytes, EvictClass cls) {
+  return EvictionCandidate{t, bytes, cls};
+}
+
+TEST(EvictionPlanner, NeverMatchGoesBeforeMatchableClasses) {
+  const EvictionPlan plan = plan_evictions(
+      {
+          cand(5.0, 100, EvictClass::FutureOnly),
+          cand(1.0, 100, EvictClass::Candidate),
+          cand(9.0, 100, EvictClass::NeverMatch),
+      },
+      150);
+  ASSERT_EQ(plan.victims.size(), 2u);
+  EXPECT_EQ(plan.victims[0].cls, EvictClass::NeverMatch);
+  EXPECT_EQ(plan.victims[1].cls, EvictClass::FutureOnly);
+  EXPECT_EQ(plan.planned_bytes, 200u);
+}
+
+TEST(EvictionPlanner, FutureOnlyEvictsColdestFirst) {
+  const EvictionPlan plan = plan_evictions(
+      {
+          cand(3.0, 10, EvictClass::FutureOnly),
+          cand(1.0, 10, EvictClass::FutureOnly),
+          cand(2.0, 10, EvictClass::FutureOnly),
+      },
+      20);
+  ASSERT_EQ(plan.victims.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.victims[0].t, 1.0);
+  EXPECT_DOUBLE_EQ(plan.victims[1].t, 2.0);
+}
+
+TEST(EvictionPlanner, CandidatesEvictLatestResolvingFirst) {
+  // A candidate for a later request resolves later — it is the better
+  // victim because its send is further away.
+  const EvictionPlan plan = plan_evictions(
+      {
+          cand(1.0, 10, EvictClass::Candidate),
+          cand(4.0, 10, EvictClass::Candidate),
+          cand(2.0, 10, EvictClass::Candidate),
+      },
+      20);
+  ASSERT_EQ(plan.victims.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.victims[0].t, 4.0);
+  EXPECT_DOUBLE_EQ(plan.victims[1].t, 2.0);
+}
+
+TEST(EvictionPlanner, PinnedNeverSelectedEvenWhenShort) {
+  const EvictionPlan plan = plan_evictions(
+      {
+          cand(1.0, 10, EvictClass::Pinned),
+          cand(2.0, 10, EvictClass::FutureOnly),
+          cand(3.0, 10, EvictClass::Pinned),
+      },
+      100);
+  ASSERT_EQ(plan.victims.size(), 1u);
+  EXPECT_EQ(plan.victims[0].cls, EvictClass::FutureOnly);
+  // Plan falls short: the caller must degrade to backpressure, not free
+  // pinned frames.
+  EXPECT_EQ(plan.planned_bytes, 10u);
+}
+
+TEST(EvictionPlanner, StopsOnceBytesCovered) {
+  const EvictionPlan plan = plan_evictions(
+      {
+          cand(1.0, 100, EvictClass::FutureOnly),
+          cand(2.0, 100, EvictClass::FutureOnly),
+          cand(3.0, 100, EvictClass::FutureOnly),
+      },
+      100);
+  EXPECT_EQ(plan.victims.size(), 1u);
+  EXPECT_EQ(plan.planned_bytes, 100u);
+}
+
+TEST(EvictionPlanner, ZeroNeedYieldsEmptyPlan) {
+  const EvictionPlan plan =
+      plan_evictions({cand(1.0, 100, EvictClass::NeverMatch)}, 0);
+  EXPECT_TRUE(plan.victims.empty());
+  EXPECT_EQ(plan.planned_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ccf::mem

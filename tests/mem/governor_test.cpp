@@ -1,0 +1,102 @@
+#include "mem/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ccf::mem {
+namespace {
+
+TEST(MemoryGovernor, ChargesAndReleasesTrackPeak) {
+  MemoryGovernor gov(1000, 0.5, 0.9);
+  EXPECT_EQ(gov.budget_bytes(), 1000u);
+  gov.charge(300);
+  gov.charge(400);
+  EXPECT_EQ(gov.stats().charged_bytes, 700u);
+  EXPECT_EQ(gov.stats().peak_charged_bytes, 700u);
+  gov.release(500);
+  EXPECT_EQ(gov.stats().charged_bytes, 200u);
+  EXPECT_EQ(gov.stats().peak_charged_bytes, 700u);
+  gov.charge(100);
+  EXPECT_EQ(gov.stats().peak_charged_bytes, 700u);
+}
+
+TEST(MemoryGovernor, WouldFitAndShortfall) {
+  MemoryGovernor gov(1000, 0.5, 0.9);
+  gov.charge(800);
+  EXPECT_TRUE(gov.would_fit(200));
+  EXPECT_FALSE(gov.would_fit(201));
+  EXPECT_EQ(gov.stats().budget_denials, 1u);
+  EXPECT_EQ(gov.shortfall(200), 0u);
+  EXPECT_EQ(gov.shortfall(500), 300u);
+}
+
+TEST(MemoryGovernor, ChargeMayExceedBudget) {
+  // The runtime soft-exceeds rather than deadlocking the collective
+  // protocol; the governor must account for it, not forbid it.
+  MemoryGovernor gov(100, 0.5, 0.9);
+  gov.charge(250);
+  EXPECT_EQ(gov.stats().charged_bytes, 250u);
+  EXPECT_EQ(gov.stats().peak_charged_bytes, 250u);
+  EXPECT_TRUE(gov.under_pressure());
+  gov.release(250);
+  EXPECT_FALSE(gov.under_pressure());
+}
+
+TEST(MemoryGovernor, PressureHysteresis) {
+  MemoryGovernor gov(1000, 0.5, 0.9);
+  gov.charge(899);
+  EXPECT_FALSE(gov.under_pressure());
+  gov.charge(1);  // hits the high watermark
+  EXPECT_TRUE(gov.under_pressure());
+  EXPECT_EQ(gov.stats().pressure_raises, 1u);
+  // Dropping into the hysteresis band does not clear pressure.
+  gov.release(300);
+  EXPECT_TRUE(gov.under_pressure());
+  // Climbing back up within the band raises nothing new.
+  gov.charge(200);
+  EXPECT_TRUE(gov.under_pressure());
+  EXPECT_EQ(gov.stats().pressure_raises, 1u);
+  // Only the low watermark clears.
+  gov.release(300);
+  EXPECT_FALSE(gov.under_pressure());
+  EXPECT_EQ(gov.stats().pressure_clears, 1u);
+}
+
+TEST(MemoryGovernor, PressureEdgeFiresOncePerTransition) {
+  MemoryGovernor gov(1000, 0.5, 0.9);
+  EXPECT_FALSE(gov.consume_pressure_edge());
+  gov.charge(950);
+  EXPECT_TRUE(gov.consume_pressure_edge());
+  EXPECT_FALSE(gov.consume_pressure_edge());  // already signaled
+  gov.release(500);
+  EXPECT_TRUE(gov.consume_pressure_edge());
+  EXPECT_FALSE(gov.consume_pressure_edge());
+}
+
+TEST(MemoryGovernor, RapidFlapWithinOnePollCoalesces) {
+  // Raise and clear between two polls: no edge is visible because the
+  // level returned to what was last signaled.
+  MemoryGovernor gov(1000, 0.5, 0.9);
+  gov.charge(950);
+  gov.release(600);
+  EXPECT_FALSE(gov.consume_pressure_edge());
+  EXPECT_EQ(gov.stats().pressure_raises, 1u);
+  EXPECT_EQ(gov.stats().pressure_clears, 1u);
+}
+
+TEST(MemoryGovernor, RejectsInvalidConfig) {
+  EXPECT_THROW(MemoryGovernor(0, 0.5, 0.9), std::runtime_error);
+  EXPECT_THROW(MemoryGovernor(100, 0.9, 0.5), std::runtime_error);
+  EXPECT_THROW(MemoryGovernor(100, 0.5, 1.5), std::runtime_error);
+  EXPECT_THROW(MemoryGovernor(100, -0.1, 0.9), std::runtime_error);
+}
+
+TEST(MemoryGovernor, ReleaseUnderflowThrows) {
+  MemoryGovernor gov(1000, 0.5, 0.9);
+  gov.charge(10);
+  EXPECT_THROW(gov.release(11), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ccf::mem
