@@ -81,12 +81,16 @@ void ExportRegionState::on_export(Timestamp t, const double* local_block, Proces
       // Below every region any current or future request can name.
       need = false;
     } else {
+      // The pending-request index and the outstanding queue are
+      // FIFO-aligned, so the first index entry covering t is the first
+      // outstanding request whose region contains t — O(log k) instead of
+      // a queue scan.
+      const IntervalIndex::Span span = c.history.pending_covering(t);
       Outstanding* covering = nullptr;
-      for (auto& o : c.outstanding) {
-        if (o.region.contains(t)) {
-          covering = &o;
-          break;
-        }
+      if (span.count > 0) {
+        covering = &c.outstanding[span.first];
+        CCF_CHECK(covering->index_id == c.history.pending().at(span.first).id,
+                  "pending index out of step with the outstanding queue");
       }
       if (covering != nullptr) {
         // Inside an unresolved region: a candidate. A newly exported
@@ -133,9 +137,14 @@ void ExportRegionState::on_export(Timestamp t, const double* local_block, Proces
   // version superseded for one request can still be another outstanding
   // request's candidate — or its eventual match — so it must be kept.
   for (const auto& s : superseded) {
+    // The covering span of the old candidate is exactly the set of
+    // outstanding requests whose region contains it (FIFO-aligned with
+    // the index); it is needed elsewhere when any of them is not the
+    // request that just superseded it.
+    const IntervalIndex::Span span = s.conn->history.pending_covering(s.old_candidate);
     bool needed_elsewhere = false;
-    for (const auto& o : s.conn->outstanding) {
-      if (&o != s.request && o.region.contains(s.old_candidate)) {
+    for (std::size_t i = 0; i < span.count; ++i) {
+      if (&s.conn->outstanding[span.first + i] != s.request) {
         needed_elsewhere = true;
         break;
       }
@@ -199,6 +208,10 @@ void ExportRegionState::resolve_front(Conn& conn, MatchResult result, Timestamp 
   CCF_CHECK(!conn.outstanding.empty(), "resolve with no outstanding request");
   CCF_CHECK(result != MatchResult::Pending, "resolving with a PENDING result");
   Outstanding o = conn.outstanding.front();
+  // Unindex before the prunes below so the resolved request's cached best
+  // is not pointlessly re-derived; later entries whose best the prunes
+  // invalidate are re-derived by the index's prune hook.
+  if (o.index_id != 0) conn.history.unindex_pending(o.index_id);
 
   if (result == MatchResult::Match) {
     // Everything below the match can never be requested again: matched
@@ -251,10 +264,14 @@ void ExportRegionState::resolve_front(Conn& conn, MatchResult result, Timestamp 
 }
 
 void ExportRegionState::check_local_decisions(Conn& conn, ProcessContext& ctx) {
-  while (!conn.outstanding.empty()) {
+  // Batch sweep: the index's per-entry decidability thresholds let the
+  // history drain every newly-decidable front request without evaluating
+  // the ones that stay PENDING — the per-export cost drops from
+  // O(outstanding) evaluations to O(resolved).
+  conn.history.evaluate_all([&](std::uint64_t id, const MatchAnswer& answer) {
+    CCF_CHECK(!conn.outstanding.empty() && conn.outstanding.front().index_id == id,
+              "pending index out of step with the outstanding queue");
     Outstanding& o = conn.outstanding.front();
-    const MatchAnswer answer = conn.history.evaluate(o.query);
-    if (!answer.decisive()) break;
     if (!o.responded_decisive) {
       send_response(conn, o.seq, answer, ctx);
       o.responded_decisive = true;
@@ -263,7 +280,7 @@ void ExportRegionState::check_local_decisions(Conn& conn, ProcessContext& ctx) {
                   answer.result);
     }
     resolve_front(conn, answer.result, answer.matched, ctx);
-  }
+  });
 }
 
 void ExportRegionState::raise_low_water(Conn& conn, Timestamp threshold,
@@ -374,12 +391,14 @@ void ExportRegionState::process_request(Conn& conn, const RequestMsg& msg,
   if (answer.decisive()) {
     // An immediately decidable request implies every earlier request was
     // already decidable (requests increase), so the queue must be empty.
+    // Never indexed: it resolves before any export could sweep it.
     CCF_CHECK(conn.outstanding.empty(),
               "decisive request arrived while earlier requests are unresolved");
     ++stats_.local_decisions;
     conn.outstanding.push_back(std::move(o));
     resolve_front(conn, answer.result, answer.matched, ctx);
   } else {
+    o.index_id = conn.history.index_pending(query);
     conn.outstanding.push_back(std::move(o));
   }
 }
@@ -427,13 +446,7 @@ void ExportRegionState::on_conn_closed(std::uint32_t conn_id, ProcessContext& ct
   std::vector<BufferPool::Freed> freed;
   for (Timestamp ts :
        pool_.buffered_below(std::numeric_limits<Timestamp>::infinity(), conn.cfg.conn_id)) {
-    bool needed = false;
-    for (const auto& o : conn.outstanding) {
-      if (o.region.contains(ts)) {
-        needed = true;
-        break;
-      }
-    }
+    bool needed = conn.history.pending_covering(ts).count > 0;
     for (const auto& ps : conn.pending_sends) {
       if (ps.match == ts) needed = true;
     }
@@ -472,13 +485,15 @@ std::size_t ExportRegionState::shed(std::size_t bytes_needed) {
     if (!pool_.spillable(t)) continue;
     mem::EvictClass cls = mem::EvictClass::FutureOnly;
     for (const auto& c : conns_) {
+      bool awaiting_shipment = false;
       for (const auto& ps : c.pending_sends) {
-        if (ps.match == t) cls = mem::EvictClass::Pinned;
+        if (ps.match == t) awaiting_shipment = true;
       }
+      // Candidate status comes from the matcher's pending-request index
+      // (an O(log k) probe of its cached bests) instead of a queue scan.
+      cls = std::max(cls,
+                     mem::classify_resident(c.history.pending(), t, awaiting_shipment));
       if (cls == mem::EvictClass::Pinned) break;
-      for (const auto& o : c.outstanding) {
-        if (o.candidate && *o.candidate == t) cls = mem::EvictClass::Candidate;
-      }
     }
     candidates.push_back(mem::EvictionCandidate{t, pool_.data_bytes(t), cls});
   }
@@ -499,17 +514,10 @@ bool ExportRegionState::safe_to_stall() const {
 void ExportRegionState::finalize(ProcessContext& ctx) {
   for (auto& conn : conns_) {
     if (!conn.history.finalized()) conn.history.finalize();
-    while (!conn.outstanding.empty()) {
-      Outstanding& o = conn.outstanding.front();
-      const MatchAnswer answer = conn.history.evaluate(o.query);
-      CCF_CHECK(answer.decisive(), "finalized history must decide every request");
-      if (!o.responded_decisive) {
-        send_response(conn, o.seq, answer, ctx);
-        o.responded_decisive = true;
-        ++stats_.local_decisions;
-      }
-      resolve_front(conn, answer.result, answer.matched, ctx);
-    }
+    // A finalized history makes every front decidable, so the batch sweep
+    // drains the whole queue.
+    check_local_decisions(conn, ctx);
+    CCF_CHECK(conn.outstanding.empty(), "finalized history must decide every request");
     // Property 1: the matched timestamp is part of the collective export
     // sequence, so a process may only finish after producing it.
     CCF_CHECK(conn.pending_sends.empty(),

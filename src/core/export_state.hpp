@@ -167,6 +167,11 @@ class ExportRegionState {
     std::optional<Timestamp> candidate;  ///< best buffered candidate so far
     double unnecessary_seconds = 0;      ///< Eq.(1) accumulator for this request
     bool responded_decisive = false;
+    /// Entry id in the history's pending-request interval index; 0 when
+    /// the request resolved decisively on arrival and was never indexed.
+    /// The index and the outstanding queue stay FIFO-aligned: entry i of
+    /// one is entry i of the other.
+    std::uint64_t index_id = 0;
   };
 
   struct PendingSend {

@@ -21,13 +21,123 @@ std::string to_string(MatchResult r) {
   return "?";
 }
 
+// --- IntervalIndex ---------------------------------------------------------
+
+namespace {
+
+Timestamp threshold_for(const MatchQuery& query, const Interval& region,
+                        const std::optional<Timestamp>& best) {
+  if (!best) return region.hi;
+  // latest >= min(hi, 2x - best)  ⟺  latest >= hi || latest >= 2x - best,
+  // i.e. exactly evaluate()'s decidability disjunction.
+  return std::min(region.hi, 2 * query.requested - *best);
+}
+
+}  // namespace
+
+std::uint64_t IntervalIndex::insert(const MatchQuery& query, std::optional<Timestamp> best) {
+  Entry e;
+  e.id = next_id_++;
+  e.query = query;
+  e.region = query.region();
+  if (!entries_.empty()) {
+    const Entry& back = entries_.back();
+    CCF_REQUIRE(e.region.lo >= back.region.lo && e.region.hi >= back.region.hi,
+                "pending regions must be monotone: [" << e.region.lo << ", " << e.region.hi
+                                                      << "] after [" << back.region.lo << ", "
+                                                      << back.region.hi << "]");
+  }
+  entries_.push_back(e);
+  set_best(entries_.back(), best);
+  ++counters_.inserts;
+  return entries_.back().id;
+}
+
+const IntervalIndex::Entry* IntervalIndex::find(std::uint64_t id) const {
+  // Ids are assigned monotonically, so the FIFO deque is sorted by id.
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, std::uint64_t want) { return e.id < want; });
+  if (it == entries_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+void IntervalIndex::erase(std::uint64_t id) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const Entry& e, std::uint64_t want) { return e.id < want; });
+  CCF_REQUIRE(it != entries_.end() && it->id == id, "erase of unknown index entry " << id);
+  if (it->best) {
+    const auto bit = bests_.find(*it->best);
+    CCF_CHECK(bit != bests_.end(), "index bests_ out of sync with entry bests");
+    bests_.erase(bit);
+  }
+  entries_.erase(it);
+}
+
+IntervalIndex::Span IntervalIndex::covering(Timestamp t) const {
+  // Monotone regions: entries with hi >= t are a suffix, entries with
+  // lo <= t a prefix — their intersection is the contiguous covering run.
+  const auto first = std::partition_point(entries_.begin(), entries_.end(),
+                                          [t](const Entry& e) { return e.region.hi < t; });
+  const auto last =
+      std::partition_point(first, entries_.end(),
+                           [t](const Entry& e) { return e.region.lo <= t; });
+  Span span;
+  span.first = static_cast<std::size_t>(first - entries_.begin());
+  span.count = static_cast<std::size_t>(last - first);
+  return span;
+}
+
+void IntervalIndex::on_record(Timestamp t) {
+  if (entries_.empty()) return;
+  ++counters_.record_sweeps;
+  const Span span = covering(t);
+  for (std::size_t i = 0; i < span.count; ++i) {
+    Entry& e = entries_[span.first + i];
+    ++counters_.swept_entries;
+    if (matcher_mutation_enabled()) {
+      // Mirror the mutated best_candidate(): first-in-region wins, so a
+      // new export only becomes the best of a so-far-empty region (t is
+      // the largest timestamp, hence lowest-in-region only when alone).
+      if (!e.best) {
+        set_best(e, t);
+        ++counters_.best_updates;
+      }
+      continue;
+    }
+    if (!e.best || better_match(t, *e.best, e.query.requested)) {
+      set_best(e, t);
+      ++counters_.best_updates;
+    }
+  }
+}
+
+void IntervalIndex::set_best(Entry& e, std::optional<Timestamp> best) {
+  if (e.best) {
+    const auto it = bests_.find(*e.best);
+    CCF_CHECK(it != bests_.end(), "index bests_ out of sync with entry bests");
+    bests_.erase(it);
+  }
+  e.best = best;
+  if (e.best) bests_.insert(*e.best);
+  e.threshold = threshold_for(e.query, e.region, e.best);
+}
+
+// --- ExportHistory ---------------------------------------------------------
+
 void ExportHistory::record(Timestamp t) {
   CCF_REQUIRE(!finalized_, "record() after finalize()");
   CCF_REQUIRE(t > latest_, "export timestamps must be strictly increasing: " << t << " after "
                                                                              << latest_);
   latest_ = t;
   const bool above_clip = clip_exclusive_ ? t > clip_ : t >= clip_;
-  if (above_clip) timestamps_.push_back(t);
+  if (above_clip) {
+    timestamps_.push_back(t);
+    // Below-clip exports never become candidates, so only an above-clip
+    // export can improve an indexed request's best.
+    pending_.on_record(t);
+  }
 }
 
 void ExportHistory::finalize() { finalized_ = true; }
@@ -36,16 +146,23 @@ Timestamp ExportHistory::latest() const { return latest_; }
 
 std::optional<Timestamp> ExportHistory::best_candidate(const MatchQuery& query) const {
   const Interval region = query.region();
-  // Candidates inside [lo, hi]; history is sorted, so scan the window.
-  const auto lo_it = std::lower_bound(timestamps_.begin(), timestamps_.end(), region.lo);
+  const auto end = timestamps_.end();
+  // First candidate at/above the region's lower edge.
+  const auto lo_it = std::lower_bound(timestamps_.begin(), end, region.lo);
+  if (matcher_mutation_enabled()) {
+    // Deliberate bug (harness conformance target): first-in-region wins.
+    if (lo_it != end && *lo_it <= region.hi) return *lo_it;
+    return std::nullopt;
+  }
+  // The history is sorted, so the closest candidate to x is one of the
+  // two neighbours of x inside the region: the largest candidate below x
+  // or the smallest at/above it (x always lies inside its own region, so
+  // the at/above neighbour needs only the upper-edge check).
+  const auto x_it = std::lower_bound(lo_it, end, query.requested);
   std::optional<Timestamp> best;
-  for (auto it = lo_it; it != timestamps_.end() && *it <= region.hi; ++it) {
-    if (matcher_mutation_enabled()) {
-      // Deliberate bug (harness conformance target): first-in-region wins.
-      if (!best) best = *it;
-      continue;
-    }
-    if (!best || better_match(*it, *best, query.requested)) best = *it;
+  if (x_it != lo_it) best = *(x_it - 1);
+  if (x_it != end && *x_it <= region.hi) {
+    if (!best || better_match(*x_it, *best, query.requested)) best = *x_it;
   }
   return best;
 }
@@ -92,6 +209,8 @@ void ExportHistory::prune_below(Timestamp t) {
     clip_ = t;
     clip_exclusive_ = false;  // future records >= t stay eligible
   }
+  pending_.on_prune(t, /*through=*/false,
+                    [this](const MatchQuery& q) { return best_candidate(q); });
 }
 
 void ExportHistory::prune_through(Timestamp t) {
@@ -101,6 +220,12 @@ void ExportHistory::prune_through(Timestamp t) {
     clip_ = t;
     clip_exclusive_ = true;  // future records must exceed t
   }
+  pending_.on_prune(t, /*through=*/true,
+                    [this](const MatchQuery& q) { return best_candidate(q); });
+}
+
+std::uint64_t ExportHistory::index_pending(const MatchQuery& query) {
+  return pending_.insert(query, best_candidate(query));
 }
 
 }  // namespace ccf::core

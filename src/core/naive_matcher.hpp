@@ -1,0 +1,61 @@
+// The original linear matching engine, preserved verbatim as a reference.
+//
+// NaiveHistory is the pre-index ExportHistory: best_candidate() scans the
+// candidate window linearly and there is no pending-request index — every
+// outstanding request must be re-evaluated from scratch after each export.
+// It is deliberately simple enough to be obviously correct, which makes it
+// the differential-testing reference for the interval-indexed engine
+// (tests/core/matcher_fuzz_test.cpp) and the per-request-re-evaluation
+// baseline of the matcher scaling bench (bench/bench_matcher.cpp). The
+// model-checking oracle (modelcheck/oracle.cpp) is an even simpler
+// sequential re-derivation and stays independent of both engines.
+//
+// Shares MatchQuery/MatchAnswer and the CCF_MC_MUTATE_MATCHER mutation
+// hook with the indexed engine so the two can be driven with identical
+// operation sequences and compared answer-for-answer, counter-for-counter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/matcher.hpp"
+#include "core/timestamp.hpp"
+
+namespace ccf::core {
+
+class NaiveHistory {
+ public:
+  using EvalCounters = ExportHistory::EvalCounters;
+
+  void record(Timestamp t);
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  Timestamp latest() const { return latest_; }
+  std::size_t count() const { return timestamps_.size(); }
+  bool empty() const { return timestamps_.empty(); }
+
+  /// Linear window scan — O(window) per call.
+  std::optional<Timestamp> best_candidate(const MatchQuery& query) const;
+
+  /// Identical decidability semantics to ExportHistory::evaluate(), built
+  /// on the linear best_candidate().
+  MatchAnswer evaluate(const MatchQuery& query) const;
+
+  void prune_below(Timestamp t);
+  void prune_through(Timestamp t);
+
+  const std::vector<Timestamp>& timestamps() const { return timestamps_; }
+  const EvalCounters& eval_counters() const { return eval_counters_; }
+
+ private:
+  std::vector<Timestamp> timestamps_;
+  Timestamp latest_ = kNeverExported;
+  Timestamp clip_ = kNeverExported;
+  bool clip_exclusive_ = false;
+  bool finalized_ = false;
+  mutable EvalCounters eval_counters_;
+};
+
+}  // namespace ccf::core

@@ -60,4 +60,20 @@ struct EvictionPlan {
 EvictionPlan plan_evictions(std::vector<EvictionCandidate> candidates,
                             std::size_t bytes_needed);
 
+/// Classifies one resident snapshot of one connection directly from the
+/// matcher's pending-request interval index: Pinned when an announced
+/// match awaits shipment, Candidate when the index holds the timestamp as
+/// some outstanding request's best candidate (an O(log k) probe instead
+/// of a scan over the outstanding queue), FutureOnly otherwise. A
+/// template over the index type so mem/ stays below core/ in the
+/// layering; the caller folds per-connection classes with the strictest
+/// (highest) one winning.
+template <class PendingIndex>
+EvictClass classify_resident(const PendingIndex& pending, core::Timestamp t,
+                             bool awaiting_shipment) {
+  if (awaiting_shipment) return EvictClass::Pinned;
+  if (pending.is_candidate(t)) return EvictClass::Candidate;
+  return EvictClass::FutureOnly;
+}
+
 }  // namespace ccf::mem

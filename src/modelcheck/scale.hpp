@@ -1,0 +1,55 @@
+// Many-region / deep-history scale scenarios for the matching engine.
+//
+// The randomized explorer (scenario.hpp) keeps scenarios tiny — a handful
+// of exports and requests — so its 500-seed gate finishes in seconds. That
+// never pushes the interval-indexed matcher into the regime it exists
+// for: many regions, thousands of exports each, and bursts of outstanding
+// requests resolved in batches. ScaleScenario fills that gap: a seeded
+// generator drives one ExportRegionState per region (single exporter
+// rank, tiny blocks — this stresses protocol state, not bandwidth)
+// through a ScriptedContext, with request streams deliberately running
+// *ahead* of the export stream so pending queues build up and each export
+// resolves several requests in one sweep. Every decisive response is then
+// compared against the sequential oracle (oracle.hpp), which remains the
+// naive reference implementation.
+//
+// The report also carries the structural proof of sublinearity: with
+// batch resolution every request costs exactly one evaluation on arrival
+// and one when it resolves, so total evaluations must stay <= 2 x
+// requests regardless of history depth — the scale test pins that bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/match_policy.hpp"
+#include "core/timestamp.hpp"
+
+namespace ccf::modelcheck {
+
+struct ScaleConfig {
+  std::uint64_t seed = 1;
+  int regions = 64;             ///< independent exported regions
+  int exports_per_region = 1000;
+  int requests_per_region = 120;
+  /// Mean virtual-time lead of a request over the export stream; larger
+  /// leads mean deeper pending queues and bigger batch resolutions.
+  double mean_lead = 6.0;
+};
+
+struct ScaleReport {
+  std::uint64_t exports = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t evaluations = 0;      ///< matcher evaluate() calls, all regions
+  std::uint64_t pending_evals = 0;    ///< evaluations that answered PENDING
+  std::uint64_t batch_resolutions = 0;  ///< requests resolved by export sweeps
+  std::vector<std::string> violations;  ///< empty iff every answer matched the oracle
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Runs one scale scenario; deterministic in the seed.
+ScaleReport run_scale(const ScaleConfig& config);
+
+}  // namespace ccf::modelcheck

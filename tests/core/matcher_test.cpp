@@ -288,6 +288,151 @@ TEST(Matcher, RegBelowBestPendingBeforeMirrorPoint) {
   EXPECT_DOUBLE_EQ(a.matched, 20.4);
 }
 
+// --- Decidability edge cases pinned against the interval index ---------
+//
+// Each of these is a named regression (not just fuzz-covered) for a
+// boundary the indexed engine's cached thresholds must get exactly right.
+
+TEST(Matcher, RegMirrorPointExactTieDecidedByLaterPreference) {
+  // Best 19.0 sits 1.0 below the request; the mirror point is exactly
+  // 2x - best = 21.0. An export landing exactly there ties on distance
+  // and the tie prefers the later timestamp — so the evaluation becomes
+  // decisive at equality, not strictly past it, and the match is the
+  // mirror-point export itself.
+  auto h = history_with({19.0});
+  const MatchQuery q{20.0, MatchPolicy::REG, 5.0};
+  EXPECT_EQ(h.evaluate(q).result, MatchResult::Pending);
+  h.record(21.0);  // latest == 2x - best exactly
+  const MatchAnswer a = h.evaluate(q);
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 21.0);
+}
+
+TEST(Matcher, RegIndexedThresholdAgreesAtMirrorPointTie) {
+  auto h = history_with({19.0});
+  const MatchQuery q{20.0, MatchPolicy::REG, 5.0};
+  const std::uint64_t id = h.index_pending(q);
+  EXPECT_FALSE(h.front_pending_decidable());
+  h.record(19.5);  // closer best, new mirror point 20.5; still short of it
+  EXPECT_FALSE(h.front_pending_decidable());
+  h.record(20.5);  // exactly the new mirror point: tie, later wins
+  EXPECT_TRUE(h.front_pending_decidable());
+  const std::size_t n = h.evaluate_all([&](std::uint64_t got, const MatchAnswer& ans) {
+    EXPECT_EQ(got, id);
+    EXPECT_EQ(ans.result, MatchResult::Match);
+    EXPECT_DOUBLE_EQ(ans.matched, 20.5);
+    h.unindex_pending(got);
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(Matcher, ReguDecidableExactlyAtUpperEdge) {
+  // REGU region [20, 22.5]: an export exactly at the upper edge is both
+  // in-region and the decidability boundary — MATCH at equality.
+  auto h = history_with({19.9});
+  const MatchQuery q{20.0, MatchPolicy::REGU, 2.5};
+  EXPECT_EQ(h.evaluate(q).result, MatchResult::Pending);
+  h.record(22.5);
+  const MatchAnswer a = h.evaluate(q);
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 22.5);
+}
+
+TEST(Matcher, ReguNoMatchJustPastUpperEdge) {
+  auto h = history_with({19.9});
+  const MatchQuery q{20.0, MatchPolicy::REGU, 2.5};
+  const std::uint64_t id = h.index_pending(q);
+  EXPECT_FALSE(h.front_pending_decidable());
+  h.record(22.6);  // first export past the edge, nothing ever in-region
+  EXPECT_TRUE(h.front_pending_decidable());
+  const MatchAnswer a = h.evaluate(q);
+  EXPECT_EQ(a.result, MatchResult::NoMatch);
+  h.unindex_pending(id);
+}
+
+TEST(Matcher, IndexedRequestSurvivesPruneIntoItsWindow) {
+  // Prune below an indexed request's window (clipping away its cached
+  // best), then re-record into the window: the index must re-derive the
+  // best — first to "none" (threshold falls back to the region edge),
+  // then to the fresh export.
+  auto h = history_with({18.0, 19.0});
+  const MatchQuery q{20.0, MatchPolicy::REG, 2.5};  // region [17.5, 22.5]
+  const std::uint64_t id = h.index_pending(q);      // cached best 19.0
+  h.prune_below(19.5);                              // best pruned away
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.front_pending_decidable());  // threshold back to hi = 22.5
+  EXPECT_EQ(h.evaluate(q).result, MatchResult::Pending);
+  h.record(20.5);  // re-record into the window, at/above x: unbeatable
+  EXPECT_TRUE(h.front_pending_decidable());
+  const MatchAnswer a = h.evaluate(q);
+  EXPECT_EQ(a.result, MatchResult::Match);
+  EXPECT_DOUBLE_EQ(a.matched, 20.5);
+  h.unindex_pending(id);
+}
+
+TEST(Matcher, EmptyHistoryIndexedRequestDecidesOnlyAtFinalize) {
+  ExportHistory h;
+  const MatchQuery q{20.0, MatchPolicy::REGL, 2.5};
+  EXPECT_EQ(h.evaluate(q).result, MatchResult::Pending);  // empty history
+  h.index_pending(q);
+  EXPECT_FALSE(h.front_pending_decidable());
+  h.finalize();
+  EXPECT_TRUE(h.front_pending_decidable());
+  const std::size_t n = h.evaluate_all([&](std::uint64_t id, const MatchAnswer& ans) {
+    EXPECT_EQ(ans.result, MatchResult::NoMatch);
+    h.unindex_pending(id);
+  });
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(h.pending_count(), 0u);
+}
+
+TEST(Matcher, EvaluateAllDrainsEveryNewlyDecidableRequest) {
+  // Three stacked REGL requests, each with an in-region candidate; one
+  // export past the last region makes all three decidable, and a single
+  // batch sweep resolves them front-first while the resolver's
+  // prune_through keeps later requests' answers intact.
+  ExportHistory h;
+  std::vector<std::uint64_t> ids;
+  std::vector<Timestamp> matched;
+  const double tol = 1.0;
+  h.record(9.5);
+  ids.push_back(h.index_pending({10.0, MatchPolicy::REGL, tol}));
+  h.record(11.5);
+  ids.push_back(h.index_pending({12.0, MatchPolicy::REGL, tol}));
+  h.record(13.5);
+  ids.push_back(h.index_pending({14.0, MatchPolicy::REGL, tol}));
+  EXPECT_EQ(h.pending_count(), 3u);
+  h.record(15.0);  // past every region: all three fronts decidable
+  const std::size_t n = h.evaluate_all([&](std::uint64_t id, const MatchAnswer& ans) {
+    EXPECT_EQ(id, ids[matched.size()]);
+    ASSERT_EQ(ans.result, MatchResult::Match);
+    matched.push_back(ans.matched);
+    h.unindex_pending(id);
+    h.prune_through(ans.matched);
+  });
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(matched, (std::vector<Timestamp>{9.5, 11.5, 13.5}));
+  EXPECT_EQ(h.pending_count(), 0u);
+}
+
+TEST(Matcher, PendingCoveringFindsTheOverlappingRun) {
+  // Overlapping REG regions (request stride below the tolerance): the
+  // covering span of a timestamp is the contiguous run of indexed
+  // requests whose region contains it.
+  ExportHistory h;
+  const double tol = 2.0;
+  h.index_pending({10.0, MatchPolicy::REG, tol});  // [8, 12]
+  h.index_pending({11.0, MatchPolicy::REG, tol});  // [9, 13]
+  h.index_pending({14.0, MatchPolicy::REG, tol});  // [12, 16]
+  EXPECT_EQ(h.pending_covering(8.5).count, 1u);
+  EXPECT_EQ(h.pending_covering(9.5).first, 0u);
+  EXPECT_EQ(h.pending_covering(9.5).count, 2u);
+  EXPECT_EQ(h.pending_covering(12.0).count, 3u);  // edge of all three
+  EXPECT_EQ(h.pending_covering(13.5).first, 2u);
+  EXPECT_EQ(h.pending_covering(13.5).count, 1u);
+  EXPECT_EQ(h.pending_covering(17.0).count, 0u);
+}
+
 // Property sweeps over random export streams: the policy-region
 // invariants of Eq. 1-2 and monotonicity in the tolerance.
 struct RandomStream {

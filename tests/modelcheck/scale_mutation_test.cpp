@@ -1,0 +1,36 @@
+// Mutation gate at scale: the deliberately wrong matcher
+// (CCF_MC_MUTATE_MATCHER, first-in-region instead of closest) must also
+// be caught by the many-region/deep-history scenario class — the indexed
+// engine caches the mutated bests, so the whole pipeline is consistently
+// wrong and the oracle cross-check must see it.
+//
+// Lives in its own binary because the mutation env var is latched on the
+// matcher's first use (see mutation_catch_test.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "modelcheck/scale.hpp"
+
+namespace ccf::modelcheck {
+namespace {
+
+const bool kMutationArmed = [] {
+  setenv("CCF_MC_MUTATE_MATCHER", "1", 1);
+  return true;
+}();
+
+TEST(ScaleMutationCatch, MutatedMatcherViolatesOracleAtScale) {
+  ASSERT_TRUE(kMutationArmed);
+  ScaleConfig config;
+  config.seed = 1;
+  config.regions = 8;
+  config.exports_per_region = 300;
+  config.requests_per_region = 60;
+  const ScaleReport report = run_scale(config);
+  EXPECT_FALSE(report.ok()) << "a wrong matcher survived " << config.regions
+                            << " regions x " << config.exports_per_region << " exports";
+}
+
+}  // namespace
+}  // namespace ccf::modelcheck

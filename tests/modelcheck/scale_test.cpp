@@ -1,0 +1,81 @@
+// Scale gate for the interval-indexed matcher: many regions, deep
+// histories, request streams running ahead of the exports so pending
+// queues build up and exports resolve requests in batches — every
+// decisive answer checked against the sequential oracle, plus the
+// structural sublinearity bound (each request costs exactly one
+// evaluation on arrival and one at resolution, independent of history
+// depth).
+#include <gtest/gtest.h>
+
+#include "modelcheck/scale.hpp"
+
+namespace ccf::modelcheck {
+namespace {
+
+std::string join(const std::vector<std::string>& v) {
+  std::string out;
+  for (const auto& s : v) out += "\n  " + s;
+  return out;
+}
+
+TEST(ModelcheckScale, ManyRegionsDeepHistoriesConformToOracle) {
+  ScaleConfig config;
+  config.seed = 1;
+  config.regions = 64;
+  config.exports_per_region = 1000;
+  config.requests_per_region = 120;
+  const ScaleReport report = run_scale(config);
+  EXPECT_TRUE(report.ok()) << join(report.violations);
+  EXPECT_EQ(report.exports, 64u * 1000u);
+  EXPECT_EQ(report.requests, 64u * 120u);
+  // The whole point of the scenario class: requests genuinely go pending
+  // and are resolved later by export sweeps, not answered on arrival.
+  EXPECT_GT(report.batch_resolutions, report.requests / 2);
+}
+
+TEST(ModelcheckScale, EvaluationsBoundedByRequestsNotHistoryDepth) {
+  // Structural sublinearity: with per-request re-evaluation the evaluation
+  // count grows with exports x outstanding; with batch resolution it is
+  // <= 2 per request (one PENDING answer on arrival, one decisive at
+  // resolution) no matter how deep the history gets.
+  for (const int depth : {250, 1000, 4000}) {
+    ScaleConfig config;
+    config.seed = 7;
+    config.regions = 4;
+    config.exports_per_region = depth;
+    config.requests_per_region = 80;
+    const ScaleReport report = run_scale(config);
+    ASSERT_TRUE(report.ok()) << join(report.violations);
+    EXPECT_LE(report.evaluations, 2 * report.requests)
+        << "evaluations grew with history depth " << depth;
+  }
+}
+
+TEST(ModelcheckScale, DeterministicInTheSeed) {
+  ScaleConfig config;
+  config.seed = 3;
+  config.regions = 8;
+  config.exports_per_region = 300;
+  config.requests_per_region = 40;
+  const ScaleReport a = run_scale(config);
+  const ScaleReport b = run_scale(config);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.pending_evals, b.pending_evals);
+  EXPECT_EQ(a.batch_resolutions, b.batch_resolutions);
+  EXPECT_TRUE(a.ok());
+}
+
+TEST(ModelcheckScale, SeedSweepStaysConformant) {
+  for (std::uint64_t seed = 10; seed < 20; ++seed) {
+    ScaleConfig config;
+    config.seed = seed;
+    config.regions = 16;
+    config.exports_per_region = 400;
+    config.requests_per_region = 60;
+    const ScaleReport report = run_scale(config);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << join(report.violations);
+  }
+}
+
+}  // namespace
+}  // namespace ccf::modelcheck
