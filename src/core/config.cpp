@@ -57,7 +57,27 @@ Config Config::parse_string(const std::string& text) {
       spec.nprocs = static_cast<int>(std::strtol(tokens[3].c_str(), &end, 10));
       CCF_REQUIRE(end && *end == '\0' && spec.nprocs > 0,
                   "config line " << lineno << ": bad process count '" << tokens[3] << "'");
-      spec.extra_args.assign(tokens.begin() + 4, tokens.end());
+      // Optional `fanin=F` / `shards=S` tokens configure the hierarchical
+      // representative layer; anything else goes to extra_args verbatim.
+      for (auto it = tokens.begin() + 4; it != tokens.end(); ++it) {
+        int* field = nullptr;
+        std::size_t prefix = 0;
+        if (it->rfind("fanin=", 0) == 0) {
+          field = &spec.rep_fanin;
+          prefix = 6;
+        } else if (it->rfind("shards=", 0) == 0) {
+          field = &spec.rep_shards;
+          prefix = 7;
+        }
+        if (!field) {
+          spec.extra_args.push_back(*it);
+          continue;
+        }
+        char* vend = nullptr;
+        *field = static_cast<int>(std::strtol(it->c_str() + prefix, &vend, 10));
+        CCF_REQUIRE(vend && *vend == '\0',
+                    "config line " << lineno << ": bad value in '" << *it << "'");
+      }
       config.add_program(std::move(spec));
     } else {
       CCF_REQUIRE(tokens.size() == 4 || tokens.size() == 8,
@@ -105,6 +125,11 @@ void Config::add_program(ProgramSpec spec) {
   CCF_REQUIRE(!spec.name.empty(), "program name is empty");
   CCF_REQUIRE(spec.nprocs > 0, "program " << spec.name << " needs at least one process");
   CCF_REQUIRE(!has_program(spec.name), "duplicate program '" << spec.name << "'");
+  CCF_REQUIRE(spec.rep_fanin == 0 || spec.rep_fanin >= 2,
+              "program " << spec.name << ": rep_fanin must be 0 (flat) or >= 2, got "
+                         << spec.rep_fanin);
+  CCF_REQUIRE(spec.rep_shards >= 1,
+              "program " << spec.name << ": rep_shards must be >= 1, got " << spec.rep_shards);
   programs_.push_back(std::move(spec));
 }
 

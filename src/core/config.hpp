@@ -31,6 +31,22 @@ struct ProgramSpec {
   std::string executable;
   int nprocs = 0;
   std::vector<std::string> extra_args;
+
+  /// Representative aggregation-tree fan-in (docs/PROTOCOL.md, "Hierarchical
+  /// representatives"). 0 keeps the single flat representative — the exact
+  /// pre-tree topology and wire traffic, byte for byte. A value F >= 2
+  /// interposes sub-representative relays between the workers and the rep:
+  /// every tree node has at most F children, so the rep's inbound control
+  /// traffic is bounded by F wire messages per collective wave instead of
+  /// one per rank. Config file syntax: a `fanin=F` token on the program
+  /// line. F == 1 is rejected (a one-child tree never contracts).
+  int rep_fanin = 0;
+
+  /// Number of sibling representative shards. Connection c is owned by
+  /// shard `c % rep_shards`, so no single process serializes every peer of
+  /// a hub program. 1 (the default) keeps today's single rep. Config file
+  /// syntax: a `shards=S` token on the program line.
+  int rep_shards = 1;
 };
 
 struct ConnectionSpec {

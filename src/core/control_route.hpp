@@ -1,0 +1,44 @@
+// Where a worker process sends its control traffic (docs/PROTOCOL.md,
+// "Hierarchical representatives").
+//
+// Flat layout (no tree): straight to the owning rep shard — connection c
+// is owned by shard c % shards, and with shards == 1 this is exactly the
+// single pre-tree rep. Aggregation tree: everything goes to the worker's
+// leaf sub-rep (`parent`), which batches entries into control frames and
+// routes them to the right shard at the top of the tree. A worker whose
+// sub-rep stops relaying (departure detection) re-parents by clearing
+// `has_parent`, falling back to the direct shard layer.
+#pragma once
+
+#include "transport/message.hpp"
+
+namespace ccf::core {
+
+using transport::ProcId;
+
+struct ControlRoute {
+  ProcId base = 0;     ///< id of rep shard 0
+  int shards = 1;      ///< shard count; shard s has id base + s
+  ProcId parent = 0;   ///< leaf sub-rep id, valid when has_parent
+  bool has_parent = false;
+
+  bool via_parent() const { return has_parent; }
+
+  /// Destination for a control message scoped to connection `conn`.
+  ProcId up_conn(int conn) const {
+    if (has_parent) return parent;
+    return base + (shards > 1 ? conn % shards : 0);
+  }
+
+  /// Destination for a message bound for shard `s` specifically.
+  ProcId up_shard(int s) const { return has_parent ? parent : base + s; }
+
+  /// Receive filter for rep->proc control traffic: the parent sub-rep, or
+  /// the whole contiguous shard range.
+  transport::MatchSpec control_match() const {
+    if (has_parent) return transport::MatchSpec{parent, transport::kAnyTag};
+    return transport::MatchSpec{base, transport::kAnyTag, shards};
+  }
+};
+
+}  // namespace ccf::core

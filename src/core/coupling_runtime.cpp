@@ -13,6 +13,25 @@ using transport::kAnyTag;
 using transport::Reader;
 using transport::Writer;
 
+namespace {
+
+// One logical proc->rep control send for program-wide (not per-connection)
+// tags: once to the parent sub-rep when the aggregation tree is on (the
+// top-level sub-rep duplicates program-wide tags to every shard), else
+// directly to each rep shard. With the default flat single-shard layout
+// this is exactly one send to the rep — byte-identical to the pre-tree
+// protocol.
+void send_up_all(runtime::ProcessContext& ctx, const ControlRoute& route, Tag tag,
+                 const transport::Payload& payload) {
+  if (route.via_parent()) {
+    ctx.send(route.parent, tag, payload);
+    return;
+  }
+  for (int s = 0; s < route.shards; ++s) ctx.send(route.base + s, tag, payload);
+}
+
+}  // namespace
+
 CouplingRuntime::CouplingRuntime(runtime::ProcessContext& ctx, const Config& config,
                                  const DeploymentLayout& layout, std::string program_name,
                                  int rank, FrameworkOptions options)
@@ -29,6 +48,12 @@ CouplingRuntime::CouplingRuntime(runtime::ProcessContext& ctx, const Config& con
               "process id " << ctx_.id() << " does not match layout for " << program_
                             << " rank " << rank_);
   rep_ = pl.rep;
+  route_.base = pl.rep;
+  route_.shards = pl.shards;
+  if (const int parent = pl.parent_of_rank(rank_); parent >= 0) {
+    route_.parent = pl.subrep(parent);
+    route_.has_parent = true;
+  }
   if (options_.memory.governed()) {
     governor_ = std::make_unique<mem::MemoryGovernor>(options_.memory.budget_bytes,
                                                       options_.memory.low_watermark,
@@ -86,26 +111,52 @@ void CouplingRuntime::commit() {
       meta.encode_into(w);
     }
     defs_payload = w.take();
-    ctx_.send(rep_, kTagRegionDefs, defs_payload);
+    send_up_all(ctx_, route_, kTagRegionDefs, defs_payload);
   }
 
-  // Every process receives the peer-geometry broadcast:
-  //   u32 n; n x { u32 conn, RegionMeta peer } (export conns then import
-  //   conns of this program, any order — keyed by conn id).
-  Message m;
+  // Every rep shard broadcasts the peer geometry of the connections it
+  // owns:
+  //   [u32 shard — sharded reps only] u32 n; n x { u32 conn, RegionMeta }.
+  // A process is committed once it holds all shards' pieces; the default
+  // single-shard deployment receives exactly the one pre-tree broadcast.
+  std::map<std::uint32_t, RegionMeta> peer_meta;
+  std::set<int> meta_seen;
+  auto meta_spec = [&] {
+    MatchSpec spec = route_.control_match();
+    spec.tag = kTagRegionMetaBcast;
+    return spec;
+  };
+  auto absorb_meta = [&](const Message& m) {
+    Reader r(m.payload);
+    int shard = 0;
+    if (route_.shards > 1) shard = static_cast<int>(r.get<std::uint32_t>());
+    const auto n = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto conn = r.get<std::uint32_t>();
+      peer_meta.emplace(conn, RegionMeta::decode_from(r));
+    }
+    meta_seen.insert(shard);
+    last_rep_seen_ = ctx_.now();
+    // In tolerant mode the rep must not shut down until every worker holds
+    // the geometry (a peer program may finish — and trigger rep exit —
+    // before a dropped broadcast was recovered), so receipt is acknowledged.
+    if (options_.failure_tolerance()) send_meta_ack(shard);
+  };
   if (!options_.failure_tolerance()) {
-    m = ctx_.recv(MatchSpec{rep_, kTagRegionMetaBcast});
+    while (static_cast<int>(meta_seen.size()) < route_.shards) {
+      absorb_meta(ctx_.recv(meta_spec()));
+    }
   } else {
-    // The definitions, the rep-to-rep geometry shipment, or the broadcast
+    // The definitions, the rep-to-rep geometry shipment, or a broadcast
     // itself may have been lost: time out, re-send what we own, and nudge
-    // the rep to replay the broadcast. Timeouts are staggered by rank.
+    // every shard to replay its broadcast. Timeouts are staggered by rank.
     double timeout = options_.retry_timeout_seconds * (1.0 + 0.1 * rank_);
     int retries = 0;
-    for (;;) {
-      auto maybe = ctx_.recv_until(MatchSpec{rep_, kTagRegionMetaBcast}, ctx_.now() + timeout);
+    while (static_cast<int>(meta_seen.size()) < route_.shards) {
+      auto maybe = ctx_.recv_until(meta_spec(), ctx_.now() + timeout);
       if (maybe) {
-        m = std::move(*maybe);
-        break;
+        absorb_meta(*maybe);
+        continue;
       }
       if (++retries > options_.max_retries) {
         throw util::TimeoutError("commit(): no region-geometry broadcast after " +
@@ -113,25 +164,12 @@ void CouplingRuntime::commit() {
                                  std::to_string(ctx_.id()));
       }
       ++ft_.commit_retries;
-      if (rank_ == 0) ctx_.send(rep_, kTagRegionDefs, defs_payload);
-      ctx_.send(rep_, kTagMetaNudge, transport::empty_payload());
+      maybe_reparent();
+      if (rank_ == 0) send_up_all(ctx_, route_, kTagRegionDefs, defs_payload);
+      send_up_all(ctx_, route_, kTagMetaNudge, transport::empty_payload());
       timeout = std::min(timeout * options_.retry_backoff_factor,
                          options_.backoff_cap_seconds());
     }
-  }
-  last_rep_seen_ = ctx_.now();
-  // In tolerant mode the rep must not shut down until every worker holds
-  // the geometry (a peer program may finish — and trigger rep exit —
-  // before a dropped broadcast was recovered), so receipt is acknowledged.
-  if (options_.failure_tolerance()) {
-    ctx_.send(rep_, kTagMetaAck, transport::empty_payload());
-  }
-  Reader r(m.payload);
-  std::map<std::uint32_t, RegionMeta> peer_meta;
-  const auto n = r.get<std::uint32_t>();
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const auto conn = r.get<std::uint32_t>();
-    peer_meta.emplace(conn, RegionMeta::decode_from(r));
   }
 
   // Build export-side state machines.
@@ -165,6 +203,7 @@ void CouplingRuntime::commit() {
     }
     region.state = std::make_unique<ExportRegionState>(
         name, region.decomp.box_of(rank_), rank_, std::move(conn_configs), options_, rep_);
+    region.state->set_control_route(&route_);
     region.state->attach_memory(governor_.get(), spill_.get());
   }
 
@@ -198,7 +237,7 @@ void CouplingRuntime::commit() {
 void CouplingRuntime::signal_pressure() {
   if (governor_ == nullptr || !governor_->consume_pressure_edge()) return;
   const PressureMsg msg{0, static_cast<std::uint8_t>(governor_->under_pressure() ? 1 : 0)};
-  ctx_.send(rep_, kTagProcPressure, msg.encode());
+  send_up_all(ctx_, route_, kTagProcPressure, msg.encode());
   ++pressure_signals_;
 }
 
@@ -242,9 +281,9 @@ AnswerMsg CouplingRuntime::await_answer(ImportRegion& region, std::uint32_t seq,
   for (;;) {
     std::optional<Message> maybe;
     if (!tolerant) {
-      maybe = ctx_.recv(MatchSpec{rep_, kAnyTag});
+      maybe = ctx_.recv(route_.control_match());
     } else {
-      maybe = ctx_.recv_until(MatchSpec{rep_, kAnyTag}, ctx_.now() + timeout);
+      maybe = ctx_.recv_until(route_.control_match(), ctx_.now() + timeout);
       if (!maybe) {
         // The request, a rep relay, or the answer broadcast was lost (or
         // the exporter is just slow). Re-sending is idempotent end to end:
@@ -257,8 +296,9 @@ AnswerMsg CouplingRuntime::await_answer(ImportRegion& region, std::uint32_t seq,
                                    std::to_string(ctx_.id()));
         }
         ++ft_.request_retries;
+        maybe_reparent();
         RequestMsg req{static_cast<std::uint32_t>(conn_id), seq, requested};
-        ctx_.send(rep_, kTagImportRequest, req.encode());
+        ctx_.send(route_.up_conn(conn_id), kTagImportRequest, req.encode());
         timeout = std::min(timeout * options_.retry_backoff_factor,
                            options_.backoff_cap_seconds());
         continue;
@@ -274,7 +314,7 @@ AnswerMsg CouplingRuntime::await_answer(ImportRegion& region, std::uint32_t seq,
     if (m.tag == kTagShutdownProc) {
       // Cannot happen while an import is outstanding on a live system;
       // remember it defensively for finalize().
-      shutdown_seen_ = true;
+      note_shutdown(m.payload);
       continue;
     }
     handle_control(m);
@@ -332,7 +372,12 @@ void CouplingRuntime::handle_control(const Message& m) {
       // nudge raced with the original broadcast's delivery, or the rep is
       // re-broadcasting because our ack was lost): re-acknowledge.
       if (options_.failure_tolerance()) {
-        ctx_.send(rep_, kTagMetaAck, transport::empty_payload());
+        int shard = 0;
+        if (route_.shards > 1) {
+          Reader r(m.payload);
+          shard = static_cast<int>(r.get<std::uint32_t>());
+        }
+        send_meta_ack(shard);
       }
       break;
     default:
@@ -355,16 +400,53 @@ void CouplingRuntime::drain_control() {
   // Consume rep->proc traffic in arrival order; tag wildcarding preserves
   // the FIFO the skip rules rely on (a request's buddy-help precedes the
   // next forwarded request in the rep's send order).
-  while (auto m = ctx_.try_recv(MatchSpec{rep_, kAnyTag})) {
+  while (auto m = ctx_.try_recv(route_.control_match())) {
     last_rep_seen_ = ctx_.now();
     if (m->tag == kTagShutdownProc) {
       // All connected programs already finished; remember it for
       // finalize()'s service loop and keep exporting.
-      shutdown_seen_ = true;
+      note_shutdown(m->payload);
       continue;
     }
     handle_control(*m);
   }
+}
+
+void CouplingRuntime::maybe_reparent() {
+  if (!route_.has_parent || options_.departure_timeout_seconds <= 0) return;
+  if (ctx_.now() - last_rep_seen_ <= options_.departure_timeout_seconds) return;
+  // Nothing — not even a relayed heartbeat — for a whole departure window:
+  // the leaf sub-rep is presumed dead. Fall back to the direct shard layer
+  // and announce the switch; any plain own-proc message makes the rep mark
+  // this rank direct, so the nudge doubles as that announcement.
+  route_.has_parent = false;
+  ++ft_.reparents;
+  for (int s = 0; s < route_.shards; ++s) {
+    ctx_.send(route_.base + s, kTagMetaNudge, transport::empty_payload());
+  }
+  last_rep_seen_ = ctx_.now();  // restart the window before declaring the rep dead
+}
+
+void CouplingRuntime::note_shutdown(const transport::Payload& payload) {
+  if (route_.shards <= 1) {
+    shutdown_seen_ = true;
+    return;
+  }
+  Reader r(payload);
+  shutdown_shards_.insert(static_cast<int>(r.get<std::uint32_t>()));
+  if (static_cast<int>(shutdown_shards_.size()) >= route_.shards) shutdown_seen_ = true;
+}
+
+void CouplingRuntime::send_meta_ack(int shard) {
+  const ProcId dest = route_.up_shard(shard);
+  if (route_.shards == 1 && !route_.has_parent) {
+    // Flat single-shard layout: the pre-tree empty-payload ack, unchanged.
+    ctx_.send(dest, kTagMetaAck, transport::empty_payload());
+    return;
+  }
+  Writer w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(shard));
+  ctx_.send(dest, kTagMetaAck, w.take());
 }
 
 void CouplingRuntime::export_region(const std::string& name, Timestamp t,
@@ -432,18 +514,18 @@ void CouplingRuntime::export_region(const std::string& name, Timestamp t,
       const double stall_start = ctx_.now();
       std::optional<Message> m;
       if (bounded) {
-        m = ctx_.recv_until(MatchSpec{rep_, kAnyTag}, stall_deadline);
+        m = ctx_.recv_until(route_.control_match(), stall_deadline);
         if (!m) {
           region.state->record_stall(ctx_.now() - stall_start);
           region.state->degrade_open_conns(ctx_);
           break;
         }
       } else {
-        m = ctx_.recv(MatchSpec{rep_, kAnyTag});
+        m = ctx_.recv(route_.control_match());
       }
       last_rep_seen_ = ctx_.now();
       if (m->tag == kTagShutdownProc) {
-        shutdown_seen_ = true;
+        note_shutdown(m->payload);
       } else {
         handle_control(*m);
       }
@@ -483,7 +565,7 @@ CouplingRuntime::ImportTicket CouplingRuntime::import_request(const std::string&
   const std::uint32_t seq = region.next_seq++;
   if (rank_ == 0) {
     RequestMsg req{static_cast<std::uint32_t>(region.conn_id), seq, x};
-    ctx_.send(rep_, kTagImportRequest, req.encode());
+    ctx_.send(route_.up_conn(region.conn_id), kTagImportRequest, req.encode());
   }
   return ImportTicket{name, seq, x};
 }
@@ -564,7 +646,7 @@ void CouplingRuntime::finalize() {
     if (rank_ != 0 && !options_.failure_tolerance()) return;
     for (int conn : config_.connections_of_importer_program(program_)) {
       ConnMsg msg{static_cast<std::uint32_t>(conn)};
-      ctx_.send(rep_, kTagImporterConnDone, msg.encode());
+      ctx_.send(route_.up_conn(conn), kTagImporterConnDone, msg.encode());
     }
   };
   send_conn_done();
@@ -574,8 +656,11 @@ void CouplingRuntime::finalize() {
   // rep confirms every connected program finished.
   if (!options_.failure_tolerance()) {
     while (!shutdown_seen_) {
-      Message m = ctx_.recv(MatchSpec{rep_, kAnyTag});
-      if (m.tag == kTagShutdownProc) break;
+      Message m = ctx_.recv(route_.control_match());
+      if (m.tag == kTagShutdownProc) {
+        note_shutdown(m.payload);
+        continue;
+      }
       handle_control(m);
     }
   } else {
@@ -586,8 +671,11 @@ void CouplingRuntime::finalize() {
     // shutdown and finish degraded rather than hang forever.
     double tick = options_.retry_timeout_seconds * (1.0 + 0.1 * rank_);
     while (!shutdown_seen_) {
-      auto m = ctx_.recv_until(MatchSpec{rep_, kAnyTag}, ctx_.now() + tick);
+      auto m = ctx_.recv_until(route_.control_match(), ctx_.now() + tick);
       if (!m) {
+        // Re-parent before the departure check: silence from a dead leaf
+        // sub-rep must not read as the rep itself having departed.
+        maybe_reparent();
         if (options_.departure_timeout_seconds > 0 &&
             ctx_.now() - last_rep_seen_ > options_.departure_timeout_seconds) {
           ft_.rep_departed = true;
@@ -599,7 +687,10 @@ void CouplingRuntime::finalize() {
         continue;
       }
       last_rep_seen_ = ctx_.now();
-      if (m->tag == kTagShutdownProc) break;
+      if (m->tag == kTagShutdownProc) {
+        note_shutdown(m->payload);
+        continue;
+      }
       handle_control(*m);
     }
   }

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/config.hpp"
+#include "core/control_route.hpp"
 #include "core/export_state.hpp"
 #include "core/layout.hpp"
 #include "core/options.hpp"
@@ -136,6 +137,22 @@ class CouplingRuntime {
   /// transition of the governor (no-op when ungoverned or level-stable).
   void signal_pressure();
 
+  /// Tree fallback (docs/PROTOCOL.md): when nothing — not even a relayed
+  /// heartbeat — has arrived from the parent sub-rep for a whole departure
+  /// window, the sub-rep is presumed dead. The route drops to the direct
+  /// shard layer and a MetaNudge announces the switch to every shard (the
+  /// rep marks the rank as direct and bypasses the tree for it from then
+  /// on). No-op when already direct or departure detection is off.
+  void maybe_reparent();
+
+  /// Records one ShutdownProc from a rep shard; with a sharded rep the
+  /// payload names the shard and shutdown_seen_ flips only once every
+  /// shard has reported.
+  void note_shutdown(const transport::Payload& payload);
+
+  /// Acknowledges (or re-acknowledges) shard `shard`'s geometry broadcast.
+  void send_meta_ack(int shard);
+
   /// Blocks for the answer to request `seq` on `region`, serving framework
   /// control traffic meanwhile (deadlock freedom for bidirectional
   /// couplings) and stashing answers that belong to other requests or
@@ -149,10 +166,12 @@ class CouplingRuntime {
   std::string program_;
   int rank_;
   FrameworkOptions options_;
-  ProcId rep_;
+  ProcId rep_;          ///< shard 0 id (route_.base)
+  ControlRoute route_;  ///< where control traffic goes: parent sub-rep or shards
   bool committed_ = false;
   bool finalized_ = false;
   bool shutdown_seen_ = false;
+  std::set<int> shutdown_shards_;  ///< shards whose ShutdownProc arrived (S > 1)
   std::map<std::string, ExportRegion> export_regions_;
   std::map<std::string, ImportRegion> import_regions_;
   /// Answers parked per connection, keyed by request seq (the fabric may

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/buffer_pool.hpp"
+#include "core/control_route.hpp"
 #include "core/matcher.hpp"
 #include "core/options.hpp"
 #include "core/protocol.hpp"
@@ -91,6 +92,15 @@ class ExportRegionState {
   /// a dead importer releases its snapshots and continues in degraded,
   /// unconnected mode. Returns the number of connections closed.
   std::size_t degrade_open_conns(ProcessContext& ctx);
+
+  /// Redirects this region's rep-bound control messages (ProcResponse)
+  /// through a shared route — the aggregation tree's leaf sub-rep or the
+  /// owning rep shard (docs/PROTOCOL.md). `route` must outlive this object;
+  /// null restores the default direct route to the ctor's rep id. Called by
+  /// the runtime right after construction.
+  void set_control_route(const ControlRoute* route) {
+    route_ = route != nullptr ? route : &default_route_;
+  }
 
   /// Wires the process-wide memory governor and spill store into this
   /// region's pool (both may be null). Called by the runtime right after
@@ -217,6 +227,8 @@ class ExportRegionState {
   std::vector<Conn> conns_;
   FrameworkOptions options_;
   ProcId rep_id_;
+  ControlRoute default_route_;  ///< direct to rep_id_, single shard
+  const ControlRoute* route_ = nullptr;
   BufferPool pool_;
   ExportRegionStats stats_;
   dist::TransferStats xfer_;  ///< data-plane copy accounting across all sends

@@ -17,14 +17,87 @@ std::vector<ProcId> ProgramLayout::proc_ids() const {
   return ids;
 }
 
+int ProgramLayout::parent_of_rank(int rank) const {
+  if (tree.empty()) return -1;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (!tree[i].leaf_level) continue;
+    for (int c : tree[i].children) {
+      if (c == rank) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<int> ProgramLayout::top_nodes() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (tree[i].parent == -1) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> ProgramLayout::subtree_ranks(int node) const {
+  std::vector<int> out;
+  std::vector<int> stack{node};
+  while (!stack.empty()) {
+    const TreeNode& n = tree[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (n.leaf_level) {
+      out.insert(out.end(), n.children.begin(), n.children.end());
+    } else {
+      stack.insert(stack.end(), n.children.begin(), n.children.end());
+    }
+  }
+  return out;
+}
+
+std::vector<TreeNode> ProgramLayout::build_tree(int nprocs, int fanin) {
+  std::vector<TreeNode> tree;
+  if (fanin < 2 || nprocs <= fanin) return tree;
+
+  // Bottom layer: group worker ranks into ceil(nprocs / fanin) leaf-level
+  // sub-reps of at most `fanin` consecutive ranks each.
+  std::vector<int> layer;  // node indices of the layer just built
+  for (int base = 0; base < nprocs; base += fanin) {
+    TreeNode node;
+    node.leaf_level = true;
+    for (int r = base; r < nprocs && r < base + fanin; ++r) node.children.push_back(r);
+    layer.push_back(static_cast<int>(tree.size()));
+    tree.push_back(std::move(node));
+  }
+
+  // Interior layers: contract until at most `fanin` nodes remain, which
+  // attach to the rep shards directly (parent == -1).
+  while (static_cast<int>(layer.size()) > fanin) {
+    std::vector<int> next;
+    for (std::size_t base = 0; base < layer.size(); base += static_cast<std::size_t>(fanin)) {
+      TreeNode node;
+      for (std::size_t j = base; j < layer.size() && j < base + static_cast<std::size_t>(fanin);
+           ++j) {
+        node.children.push_back(layer[j]);
+      }
+      const int idx = static_cast<int>(tree.size());
+      for (int c : node.children) tree[static_cast<std::size_t>(c)].parent = idx;
+      next.push_back(idx);
+      tree.push_back(std::move(node));
+    }
+    layer = std::move(next);
+  }
+  return tree;
+}
+
 DeploymentLayout::DeploymentLayout(const Config& config) {
   for (const auto& spec : config.programs()) {
     ProgramLayout layout;
     layout.name = spec.name;
     layout.nprocs = spec.nprocs;
+    layout.shards = spec.rep_shards;
+    layout.fanin = spec.rep_fanin;
     layout.first = next_id_;
     layout.rep = next_id_ + spec.nprocs;
-    next_id_ += spec.nprocs + 1;
+    layout.tree = ProgramLayout::build_tree(spec.nprocs, spec.rep_fanin);
+    layout.subrep_first = layout.rep + layout.shards;
+    next_id_ = layout.subrep_first + static_cast<ProcId>(layout.tree.size());
     programs_.push_back(std::move(layout));
   }
 }
@@ -39,7 +112,10 @@ const ProgramLayout& DeploymentLayout::program(const std::string& name) const {
 DeploymentLayout::Owner DeploymentLayout::owner_of(ProcId id) const {
   for (const auto& p : programs_) {
     if (id >= p.first && id < p.first + p.nprocs) return Owner{p.name, static_cast<int>(id - p.first)};
-    if (id == p.rep) return Owner{p.name, -1};
+    if (id >= p.rep && id < p.rep + p.shards) return Owner{p.name, -1};
+    if (id >= p.subrep_first && id < p.subrep_first + static_cast<ProcId>(p.tree.size())) {
+      return Owner{p.name, -2};
+    }
   }
   throw util::InvalidArgument("process id " + std::to_string(id) + " not in layout");
 }

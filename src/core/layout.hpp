@@ -1,9 +1,18 @@
-// Deployment layout: assigns global ProcIds to every program's processes
-// and its representative (rep) process.
+// Deployment layout: assigns global ProcIds to every program's processes,
+// its representative (rep) shards, and its aggregation-tree sub-reps.
 //
-// Program i's worker processes occupy a contiguous id block followed by
-// the rep's id, in config order. Every participant derives the same layout
-// from the shared Config, so no id exchange is needed at startup.
+// Program i's worker processes occupy a contiguous id block followed by its
+// S rep shard ids and then its T sub-rep ids, in config order. Every
+// participant derives the same layout from the shared Config, so no id
+// exchange is needed at startup. With the defaults (rep_shards == 1,
+// rep_fanin == 0) the allocation is [workers][rep] — identical to the
+// pre-tree layout.
+//
+// Aggregation tree (rep_fanin == F >= 2, docs/PROTOCOL.md): worker ranks
+// are grouped bottom-up into sub-reps of at most F children; sub-rep
+// layers repeat until one layer has at most F nodes, which attach directly
+// to the rep shards. No tree is built when nprocs <= F (all workers attach
+// directly to the rep, which then already has <= F children).
 #pragma once
 
 #include <string>
@@ -16,14 +25,46 @@ namespace ccf::core {
 
 using transport::ProcId;
 
+/// One sub-rep node of a program's aggregation tree. `children` are worker
+/// ranks when `leaf_level`, else indices of tree nodes one level down.
+struct TreeNode {
+  bool leaf_level = false;
+  std::vector<int> children;
+  int parent = -1;  ///< index of the parent tree node, -1 for top level
+};
+
 struct ProgramLayout {
   std::string name;
   int nprocs = 0;
   ProcId first = 0;  ///< id of rank 0
-  ProcId rep = 0;    ///< id of the representative process
+  ProcId rep = 0;    ///< id of the representative process (shard 0)
+  int shards = 1;    ///< rep shard count; shard s has id rep + s
+  int fanin = 0;     ///< aggregation-tree fan-in, 0 = flat (no tree)
+  ProcId subrep_first = 0;       ///< id of tree node 0 (when !tree.empty())
+  std::vector<TreeNode> tree;    ///< aggregation tree, empty when flat
 
   ProcId proc(int rank) const;
   std::vector<ProcId> proc_ids() const;
+
+  ProcId shard_id(int s) const { return rep + s; }
+  ProcId subrep(int node) const { return subrep_first + node; }
+
+  /// The rep shard owning connection `conn` (conn % shards).
+  ProcId control_target(int conn) const { return rep + (shards > 1 ? conn % shards : 0); }
+
+  /// Tree node a worker rank reports to, or -1 when the tree is empty
+  /// (the rank talks to the rep shards directly).
+  int parent_of_rank(int rank) const;
+
+  /// Tree nodes whose parent is the rep layer (parent == -1).
+  std::vector<int> top_nodes() const;
+
+  /// Worker ranks in the subtree rooted at tree node `node`.
+  std::vector<int> subtree_ranks(int node) const;
+
+  /// Builds the bottom-up fan-in tree for `nprocs` ranks; empty when
+  /// fanin < 2 or nprocs <= fanin.
+  static std::vector<TreeNode> build_tree(int nprocs, int fanin);
 };
 
 class DeploymentLayout {
@@ -33,13 +74,14 @@ class DeploymentLayout {
   const ProgramLayout& program(const std::string& name) const;
   const std::vector<ProgramLayout>& programs() const { return programs_; }
 
-  /// Total ids consumed (workers + reps); ids are [0, total).
+  /// Total ids consumed (workers + rep shards + sub-reps); ids are [0, total).
   ProcId total_processes() const { return next_id_; }
 
-  /// Name of the program owning `id` and whether it is the rep.
+  /// Name of the program owning `id` and whether it is a rep shard (-1)
+  /// or a sub-rep (-2).
   struct Owner {
     std::string program;
-    int rank = -1;  ///< -1 for the rep
+    int rank = -1;  ///< -1 for a rep shard, -2 for a sub-rep
   };
   Owner owner_of(ProcId id) const;
 

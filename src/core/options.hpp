@@ -72,6 +72,22 @@ struct FrameworkOptions {
   /// throttle, and arena caps. All off by default.
   MemoryOptions memory;
 
+  /// Modeled per-message dispatch cost charged by rep shards and sub-reps
+  /// for every inbound control wire message. 0 (default) charges nothing —
+  /// virtual end times stay identical to the pre-tree runtime. Nonzero
+  /// makes the single-rep funnel serialization visible in virtual time,
+  /// which is what `bench_rep_scale` sweeps (docs/PERF.md).
+  double rep_dispatch_seconds = 0;
+
+  /// Chaos hook: sub-rep `debug_kill_subrep` of program
+  /// `debug_kill_subrep_program` exits silently at virtual time
+  /// `debug_kill_subrep_at`, simulating a mid-run aggregator death. Its
+  /// children detect the silence via departure_timeout_seconds and
+  /// re-parent onto the rep shards directly. -1 = disabled.
+  int debug_kill_subrep = -1;
+  double debug_kill_subrep_at = 0;
+  std::string debug_kill_subrep_program;
+
   // --- failure tolerance -------------------------------------------------
   // Everything below defaults to "off": with the defaults, the protocol
   // behaves exactly as the lossless baseline (zero happy-path drift). The

@@ -99,6 +99,39 @@ PressureMsg PressureMsg::decode(const Payload& p) {
   return m;
 }
 
+Payload encode_frame(const std::vector<FrameEntry>& entries) {
+  std::size_t bytes = sizeof(std::uint32_t);
+  for (const auto& e : entries) {
+    bytes += sizeof(std::int32_t) + sizeof(std::uint32_t) * 2 + e.payload.size();
+  }
+  Writer w(bytes);
+  w.put(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.put(e.rank);
+    w.put(static_cast<std::uint32_t>(e.tag));
+    w.put(static_cast<std::uint32_t>(e.payload.size()));
+    w.put_raw(e.payload.data(), e.payload.size());
+  }
+  return w.take();
+}
+
+std::vector<FrameEntry> decode_frame(const Payload& p) {
+  Reader r(p);
+  const auto n = r.get<std::uint32_t>();
+  std::vector<FrameEntry> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    FrameEntry e;
+    e.rank = r.get<std::int32_t>();
+    e.tag = static_cast<Tag>(r.get<std::uint32_t>());
+    const auto len = r.get<std::uint32_t>();
+    e.payload = r.view(len);
+    entries.push_back(std::move(e));
+  }
+  CCF_CHECK(r.exhausted(), "trailing bytes in tree frame");
+  return entries;
+}
+
 void RegionMeta::encode_into(Writer& w) const {
   w.put_string(name);
   w.put(rows);

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/matcher.hpp"
 #include "transport/message.hpp"
@@ -49,6 +50,14 @@ inline constexpr Tag kTagPeerMetaAck = 0x100011;     ///< rep -> peer rep: peer 
 inline constexpr Tag kTagProcPressure = 0x100012;    ///< exporter proc -> own rep
 inline constexpr Tag kTagPressure = 0x100013;        ///< exporter rep -> importer rep
 inline constexpr Tag kTagPressureBcast = 0x100014;   ///< importer rep -> own procs
+// Aggregation tree (docs/PROTOCOL.md, "Hierarchical representatives"):
+// batched control frames carrying many per-rank entries in one wire
+// message. Up-frames travel child -> sub-rep -> rep, down-frames travel
+// rep -> sub-rep -> procs. Deliberately placed inside the control-tag
+// window [kTagImportRequest, kTagDataBase) so chaos schedules restricted
+// to the control plane fault them too.
+inline constexpr Tag kTagTreeUp = 0x100015;          ///< sub-rep -> parent/rep: batched frame
+inline constexpr Tag kTagTreeDown = 0x100016;        ///< rep -> sub-rep: batched frame
 
 inline constexpr Tag kTagDataBase = 0x200000;
 
@@ -114,6 +123,25 @@ struct PressureMsg {
   Payload encode() const;
   static PressureMsg decode(const Payload& p);
 };
+
+/// Entry of a batched tree control frame. `rank` is the originating worker
+/// rank (up-frames) or the target worker rank / kFrameBroadcast
+/// (down-frames); `tag` and `payload` are the plain control message the
+/// entry stands for. Decoded payloads are zero-copy slices of the frame.
+inline constexpr std::int32_t kFrameBroadcast = -1;
+
+struct FrameEntry {
+  std::int32_t rank = 0;
+  Tag tag = 0;
+  Payload payload;
+};
+
+/// Packs entries into one wire frame: [u32 n] then per entry
+/// [i32 rank][u32 tag][u32 len][len bytes].
+Payload encode_frame(const std::vector<FrameEntry>& entries);
+
+/// Unpacks a frame; each entry's payload aliases `p` (no copies).
+std::vector<FrameEntry> decode_frame(const Payload& p);
 
 /// Region geometry, exchanged between reps at commit time so each side can
 /// build the redistribution schedule from metadata alone.

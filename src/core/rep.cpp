@@ -18,25 +18,98 @@ using transport::kAnyTag;
 using transport::Reader;
 using transport::Writer;
 
+namespace {
+
+/// Downward fan-out of one rep shard. Flat layout: every send goes straight
+/// to the worker (the pre-tree wire traffic, byte for byte). Tree layout:
+/// sends are buffered as frame entries, one frame per top-level sub-rep per
+/// processed wave — so a collective broadcast costs the rep O(fan-in) wire
+/// messages instead of O(nprocs). Ranks known to have re-parented (their
+/// sub-rep died) are served directly in addition to the tree.
+struct DownLink {
+  runtime::ProcessContext& ctx;
+  const ProgramLayout& pl;
+  RepResult& result;
+  const bool enabled;
+  std::vector<int> tops;                      ///< top-level tree node indices
+  std::vector<int> rank_to_top;               ///< rank -> index into tops
+  std::vector<std::vector<FrameEntry>> buf;   ///< pending entries per top node
+  std::set<int> direct_ranks;                 ///< re-parented: bypass the tree
+
+  DownLink(runtime::ProcessContext& c, const ProgramLayout& p, RepResult& r)
+      : ctx(c), pl(p), result(r), enabled(!p.tree.empty()) {
+    if (!enabled) return;
+    tops = pl.top_nodes();
+    rank_to_top.assign(static_cast<std::size_t>(pl.nprocs), 0);
+    for (std::size_t i = 0; i < tops.size(); ++i) {
+      for (int r : pl.subtree_ranks(tops[i])) {
+        rank_to_top[static_cast<std::size_t>(r)] = static_cast<int>(i);
+      }
+    }
+    buf.resize(tops.size());
+  }
+
+  void bcast(transport::Tag tag, const transport::Payload& p) {
+    if (!enabled) {
+      for (ProcId proc : pl.proc_ids()) ctx.send(proc, tag, p);
+      return;
+    }
+    for (auto& b : buf) b.push_back(FrameEntry{kFrameBroadcast, tag, p});
+    for (int r : direct_ranks) ctx.send(pl.proc(r), tag, p);
+  }
+
+  void to_rank(int rank, transport::Tag tag, const transport::Payload& p) {
+    if (!enabled || direct_ranks.count(rank)) {
+      ctx.send(pl.proc(rank), tag, p);
+      return;
+    }
+    buf[static_cast<std::size_t>(rank_to_top[static_cast<std::size_t>(rank)])].push_back(
+        FrameEntry{rank, tag, p});
+  }
+
+  void flush() {
+    if (!enabled) return;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (buf[i].empty()) continue;
+      ctx.send(pl.subrep(tops[i]), kTagTreeDown, encode_frame(buf[i]));
+      ++result.frames_out;
+      result.frame_entries_out += buf[i].size();
+      buf[i].clear();
+    }
+  }
+};
+
+}  // namespace
+
 RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
                   const DeploymentLayout& layout, const std::string& program_name,
-                  FrameworkOptions options) {
+                  FrameworkOptions options, int shard) {
   const ProgramLayout& pl = layout.program(program_name);
-  CCF_REQUIRE(ctx.id() == pl.rep, "rep body running on wrong process id");
+  CCF_REQUIRE(shard >= 0 && shard < pl.shards, "rep shard index outside layout");
+  CCF_REQUIRE(ctx.id() == pl.shard_id(shard), "rep body running on wrong process id");
 
-  const std::vector<int> export_conns = config.connections_of_exporter_program(program_name);
-  const std::vector<int> import_conns = config.connections_of_importer_program(program_name);
+  // This shard owns the connections with conn % shards == shard; peers
+  // address it the same way (ProgramLayout::control_target).
+  auto owned = [&](int conn) { return pl.shards <= 1 || conn % pl.shards == shard; };
+  std::vector<int> export_conns, import_conns;
+  for (int conn : config.connections_of_exporter_program(program_name)) {
+    if (owned(conn)) export_conns.push_back(conn);
+  }
+  for (int conn : config.connections_of_importer_program(program_name)) {
+    if (owned(conn)) import_conns.push_back(conn);
+  }
 
   auto peer_rep_of = [&](int conn) -> ProcId {
     const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
     const std::string& peer =
         spec.exporter_program == program_name ? spec.importer_program : spec.exporter_program;
-    return layout.program(peer).rep;
+    return layout.program(peer).control_target(conn);
   };
 
   auto is_own_proc = [&](ProcId id) { return id >= pl.first && id < pl.first + pl.nprocs; };
 
   RepResult result;
+  DownLink down(ctx, pl, result);
   std::map<int, RequestAggregator> aggregators;
   for (int conn : export_conns) {
     aggregators.emplace(conn, RequestAggregator(pl.nprocs, options.buddy_help));
@@ -115,7 +188,7 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
         deferred = true;
         continue;
       }
-      ctx.send(pl.proc(rank), kTagConnClosed, payload);
+      down.to_rank(rank, kTagConnClosed, payload);
     }
     if (deferred) conn_closed_pending.insert(conn);
   };
@@ -127,12 +200,15 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
   // shippable). Only *transitions* of the aggregate are propagated, one
   // Pressure note per exporting connection. Pressure is advisory — a lost
   // note merely costs throttling accuracy, never correctness — so the
-  // notes ride the fabric without retry machinery.
+  // notes ride the fabric without retry machinery. With an aggregation
+  // tree, the per-rank signals ride up-frames (any-raised/all-clear is
+  // evaluated here over the leaf-rank origins) and the importer-side
+  // broadcast fans out down the peer's tree.
   std::set<int> pressured_ranks;
   bool program_pressure = false;
-  auto on_proc_pressure = [&](const Message& m) {
-    const PressureMsg msg = PressureMsg::decode(m.payload);
-    const int rank = static_cast<int>(m.src - pl.first);
+  auto on_proc_pressure = [&](ProcId src, const transport::Payload& payload) {
+    const PressureMsg msg = PressureMsg::decode(payload);
+    const int rank = static_cast<int>(src - pl.first);
     ++result.pressure_signals;
     if (msg.level != 0) {
       pressured_ranks.insert(rank);
@@ -178,6 +254,10 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
   auto maybe_broadcast_meta = [&] {
     if (meta_broadcast || !defs_received || peer_meta.size() != participated) return;
     Writer w;
+    // Multi-shard layouts prefix the shard id so workers can collect and
+    // merge every shard's broadcast; the single-shard payload stays
+    // byte-identical to the pre-shard wire format.
+    if (pl.shards > 1) w.put<std::uint32_t>(static_cast<std::uint32_t>(shard));
     w.put<std::uint32_t>(static_cast<std::uint32_t>(peer_meta.size()));
     for (const auto& [conn, meta] : peer_meta) {
       // Validate geometry agreement for conns this program imports on:
@@ -202,7 +282,7 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
       meta.encode_into(w);
     }
     meta_payload = w.take();
-    for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagRegionMetaBcast, meta_payload);
+    down.bcast(kTagRegionMetaBcast, meta_payload);
     meta_broadcast = true;
   };
 
@@ -239,6 +319,245 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
            export_conns_finished.size() == export_conns.size();
   };
 
+  // One control message, plain or reconstructed from an up-frame entry
+  // (`src` is then the entry's leaf-rank origin mapped back to its ProcId,
+  // so all per-rank bookkeeping stays exact through the tree).
+  auto handle = [&](ProcId src, transport::Tag tag, const transport::Payload& payload) {
+    switch (tag) {
+      case kTagRegionDefs: {
+        if (defs_received) {
+          // Rank0 timed out waiting for the meta broadcast and re-sent its
+          // definitions. Our own shipment (or the peer's) may have been
+          // lost: re-ship ours and nudge every peer rep to re-ship theirs.
+          ++result.duplicates_ignored;
+          ship_peer_meta();
+          std::set<ProcId> peers;
+          for (int conn : export_conns) peers.insert(peer_rep_of(conn));
+          for (int conn : import_conns) peers.insert(peer_rep_of(conn));
+          for (ProcId peer : peers) {
+            ctx.send(peer, kTagMetaNudge, transport::empty_payload());
+          }
+          break;
+        }
+        defs_received = true;
+        Reader r(payload);
+        const auto n_exp = r.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < n_exp; ++i) {
+          RegionMeta meta = RegionMeta::decode_from(r);
+          own_exports.emplace(meta.name, std::move(meta));
+        }
+        const auto n_imp = r.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < n_imp; ++i) {
+          RegionMeta meta = RegionMeta::decode_from(r);
+          own_imports.emplace(meta.name, std::move(meta));
+        }
+        // Early detection of incorrect coupling specifications (paper
+        // §3.1): every connected region must have been defined.
+        for (int conn : export_conns) {
+          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+          CCF_REQUIRE(own_exports.count(spec.exporter_region),
+                      "program " << program_name << " never defined exported region '"
+                                 << spec.exporter_region << "' required by connection "
+                                 << conn);
+        }
+        for (int conn : import_conns) {
+          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
+          CCF_REQUIRE(own_imports.count(spec.importer_region),
+                      "program " << program_name << " never defined imported region '"
+                                 << spec.importer_region << "' required by connection "
+                                 << conn);
+        }
+        // Ship our geometry to every peer rep.
+        ship_peer_meta();
+        maybe_broadcast_meta();
+        break;
+      }
+      case kTagPeerRegionMeta: {
+        Reader r(payload);
+        const auto conn = r.get<std::uint32_t>();
+        // emplace ignores duplicates (a peer re-shipped after a nudge).
+        peer_meta.emplace(static_cast<int>(conn), RegionMeta::decode_from(r));
+        // Acknowledge every receipt (duplicates included): the peer rep
+        // re-ships until acked, so a lost ack is repaired by re-acking the
+        // re-shipment.
+        if (reliable_finish) {
+          ctx.send(src, kTagPeerMetaAck, ConnMsg{conn}.encode());
+        }
+        maybe_broadcast_meta();
+        break;
+      }
+      case kTagPeerMetaAck: {
+        const ConnMsg msg = ConnMsg::decode(payload);
+        peer_meta_acked.insert(static_cast<int>(msg.conn));
+        break;
+      }
+      case kTagMetaNudge: {
+        if (is_own_proc(src)) {
+          // A worker never saw the meta broadcast: replay it to that
+          // worker alone once it exists.
+          if (meta_broadcast) {
+            down.to_rank(static_cast<int>(src - pl.first), kTagRegionMetaBcast, meta_payload);
+            ++result.meta_resends;
+          }
+        } else if (defs_received) {
+          // A peer rep is missing our geometry: re-ship everything bound
+          // for that rep (cheap, idempotent on the receiving side).
+          ship_peer_meta();
+          ++result.meta_resends;
+        }
+        break;
+      }
+      case kTagImportRequest: {
+        const RequestMsg req = RequestMsg::decode(payload);
+        const auto cached = import_answers.find({req.conn, req.seq});
+        if (cached != import_answers.end()) {
+          // Retried request whose answer already exists: replay the
+          // broadcast instead of bothering the exporter again.
+          down.bcast(import_answer_tag(static_cast<int>(req.conn)), cached->second.encode());
+          ++result.answers_resent;
+          break;
+        }
+        ctx.send(peer_rep_of(static_cast<int>(req.conn)), kTagRequestForward, req.encode());
+        break;
+      }
+      case kTagRequestForward: {
+        const RequestMsg req = RequestMsg::decode(payload);
+        auto agg = aggregators.find(static_cast<int>(req.conn));
+        CCF_CHECK(agg != aggregators.end(),
+                  "request forwarded to non-exporter of connection " << req.conn);
+        if (agg->second.is_answered(req.seq)) {
+          // Duplicate of an answered request: the RepAnswer may have been
+          // lost on the way back — resend it from the aggregator's cache.
+          ctx.send(peer_rep_of(static_cast<int>(req.conn)), kTagRepAnswer,
+                   agg->second.answer_of(req.seq).encode());
+          ++result.answers_resent;
+          break;
+        }
+        const bool duplicate = agg->second.is_open(req.seq);
+        if (!duplicate) agg->second.open(req);
+        else ++result.duplicates_ignored;
+        // (Re-)forward to the workers. On the duplicate path this re-elicits
+        // responses in case the first ProcForward or the responses were
+        // lost; workers dedup by request seq and replay what they answered.
+        down.bcast(kTagProcForward, req.encode());
+        if (!duplicate) ++result.requests_forwarded;
+        break;
+      }
+      case kTagProcResponse: {
+        const ResponseMsg resp = ResponseMsg::decode(payload);
+        const int rank = static_cast<int>(src - pl.first);
+        auto agg = aggregators.find(static_cast<int>(resp.conn));
+        CCF_CHECK(agg != aggregators.end(), "response for unknown connection " << resp.conn);
+        ++result.responses_received;
+        const RequestAggregator::Actions actions = agg->second.on_response(rank, resp);
+        if (actions.answer_importer) {
+          ctx.send(peer_rep_of(static_cast<int>(resp.conn)), kTagRepAnswer,
+                   actions.answer_importer->encode());
+          ++result.answers_sent;
+        }
+        if (!actions.buddy_help_ranks.empty()) {
+          const AnswerMsg& answer = agg->second.answer_of(resp.seq);
+          const transport::Payload help_payload = answer.encode();
+          for (int r : actions.buddy_help_ranks) {
+            down.to_rank(r, kTagBuddyHelp, help_payload);
+            ++result.buddy_helps_sent;
+          }
+        }
+        // A withheld ConnClosed becomes deliverable once this rank has
+        // responded to every forwarded request (see notify_conn_closed).
+        if (conn_closed_pending.count(static_cast<int>(resp.conn)) &&
+            agg->second.rank_answered_all(rank)) {
+          down.to_rank(rank, kTagConnClosed, ConnMsg{resp.conn}.encode());
+          if ([&] {
+                for (int r = 0; r < pl.nprocs; ++r) {
+                  if (!agg->second.rank_answered_all(r)) return false;
+                }
+                return true;
+              }()) {
+            conn_closed_pending.erase(static_cast<int>(resp.conn));
+          }
+        }
+        break;
+      }
+      case kTagRepAnswer: {
+        const AnswerMsg answer = AnswerMsg::decode(payload);
+        const auto [it, fresh] = import_answers.emplace(
+            std::make_pair(answer.conn, answer.seq), answer);
+        if (!fresh) ++result.duplicates_ignored;
+        // (Re-)broadcast either way: a duplicate RepAnswer means the
+        // exporter saw a retry, so some proc is still waiting.
+        down.bcast(import_answer_tag(static_cast<int>(answer.conn)), it->second.encode());
+        break;
+      }
+      case kTagImporterConnDone: {
+        const ConnMsg msg = ConnMsg::decode(payload);
+        conn_done_ranks[static_cast<int>(msg.conn)].insert(static_cast<int>(src - pl.first));
+        if (!import_conns_done.insert(static_cast<int>(msg.conn)).second) {
+          ++result.duplicates_ignored;
+        }
+        // Relay every time: the previous ConnFinished may have been lost.
+        ctx.send(peer_rep_of(static_cast<int>(msg.conn)), kTagConnFinished, msg.encode());
+        break;
+      }
+      case kTagConnFinished: {
+        const ConnMsg msg = ConnMsg::decode(payload);
+        if (!export_conns_finished.insert(static_cast<int>(msg.conn)).second) {
+          ++result.duplicates_ignored;
+        }
+        // Tell the worker processes the importer left: they release every
+        // snapshot held for this connection and stop buffering for it.
+        // Re-broadcast on duplicates (idempotent at the workers).
+        notify_conn_closed(static_cast<int>(msg.conn));
+        if (reliable_finish) {
+          ctx.send(src, kTagConnFinishedAck, msg.encode());
+        }
+        break;
+      }
+      case kTagConnFinishedAck: {
+        const ConnMsg msg = ConnMsg::decode(payload);
+        conn_finished_acked.insert(static_cast<int>(msg.conn));
+        break;
+      }
+      case kTagMetaAck:
+        meta_acked.insert(src);
+        break;
+      case kTagProcPressure:
+        on_proc_pressure(src, payload);
+        break;
+      case kTagPressure: {
+        // The exporter side of one of our import connections changed
+        // pressure level: relay to our procs so they throttle requests.
+        const PressureMsg msg = PressureMsg::decode(payload);
+        down.bcast(kTagPressureBcast, msg.encode());
+        ++result.pressure_broadcasts;
+        break;
+      }
+      default:
+        throw util::InternalError("rep of " + program_name + " got unexpected tag " +
+                                  std::to_string(tag));
+    }
+  };
+
+  auto process = [&](const Message& m) {
+    ++result.wire_in;
+    if (options.rep_dispatch_seconds > 0) ctx.compute(options.rep_dispatch_seconds);
+    if (m.tag == kTagTreeUp) {
+      ++result.frames_in;
+      for (const FrameEntry& e : decode_frame(m.payload)) {
+        ++result.frame_entries_in;
+        handle(pl.first + e.rank, e.tag, e.payload);
+      }
+      return;
+    }
+    if (down.enabled && is_own_proc(m.src)) {
+      // With a tree up, a worker only ever speaks to us directly after
+      // re-parenting (its sub-rep stopped relaying): serve it directly
+      // from now on — tree frames toward it may be black-holed.
+      down.direct_ranks.insert(static_cast<int>(m.src - pl.first));
+    }
+    handle(m.src, m.tag, m.payload);
+  };
+
   const bool beats = options.heartbeat_interval_seconds > 0;
   double next_beat = beats ? ctx.now() + options.heartbeat_interval_seconds : 0;
 
@@ -249,9 +568,7 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
     if (beats) {
       auto maybe = ctx.recv_until(MatchSpec{kAnyProc, kAnyTag}, next_beat);
       if (!maybe) {
-        for (ProcId proc : pl.proc_ids()) {
-          ctx.send(proc, kTagRepHeartbeat, transport::empty_payload());
-        }
+        down.bcast(kTagRepHeartbeat, transport::empty_payload());
         ++result.heartbeats_sent;
         // Re-send un-acked ConnFinished notifications on the same tick;
         // after max_retries presume delivery (the odds of that many
@@ -264,7 +581,8 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
                 meta_acked.insert(proc);
                 continue;
               }
-              ctx.send(proc, kTagRegionMetaBcast, meta_payload);
+              down.to_rank(static_cast<int>(proc - pl.first), kTagRegionMetaBcast,
+                           meta_payload);
               ++result.meta_resends;
             }
           }
@@ -306,11 +624,12 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
                 continue;
               }
               const transport::Payload payload = u.request.encode();
-              for (int rank : u.ranks) ctx.send(pl.proc(rank), kTagProcForward, payload);
+              for (int rank : u.ranks) down.to_rank(rank, kTagProcForward, payload);
               ++result.forward_resends;
             }
           }
         }
+        down.flush();
         next_beat = ctx.now() + options.heartbeat_interval_seconds;
         continue;
       }
@@ -318,233 +637,24 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
     } else {
       m = ctx.recv(MatchSpec{kAnyProc, kAnyTag});
     }
-    switch (m.tag) {
-      case kTagRegionDefs: {
-        if (defs_received) {
-          // Rank0 timed out waiting for the meta broadcast and re-sent its
-          // definitions. Our own shipment (or the peer's) may have been
-          // lost: re-ship ours and nudge every peer rep to re-ship theirs.
-          ++result.duplicates_ignored;
-          ship_peer_meta();
-          std::set<ProcId> peers;
-          for (int conn : export_conns) peers.insert(peer_rep_of(conn));
-          for (int conn : import_conns) peers.insert(peer_rep_of(conn));
-          for (ProcId peer : peers) {
-            ctx.send(peer, kTagMetaNudge, transport::empty_payload());
-          }
-          break;
-        }
-        defs_received = true;
-        Reader r(m.payload);
-        const auto n_exp = r.get<std::uint32_t>();
-        for (std::uint32_t i = 0; i < n_exp; ++i) {
-          RegionMeta meta = RegionMeta::decode_from(r);
-          own_exports.emplace(meta.name, std::move(meta));
-        }
-        const auto n_imp = r.get<std::uint32_t>();
-        for (std::uint32_t i = 0; i < n_imp; ++i) {
-          RegionMeta meta = RegionMeta::decode_from(r);
-          own_imports.emplace(meta.name, std::move(meta));
-        }
-        // Early detection of incorrect coupling specifications (paper
-        // §3.1): every connected region must have been defined.
-        for (int conn : export_conns) {
-          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
-          CCF_REQUIRE(own_exports.count(spec.exporter_region),
-                      "program " << program_name << " never defined exported region '"
-                                 << spec.exporter_region << "' required by connection "
-                                 << conn);
-        }
-        for (int conn : import_conns) {
-          const ConnectionSpec& spec = config.connections()[static_cast<std::size_t>(conn)];
-          CCF_REQUIRE(own_imports.count(spec.importer_region),
-                      "program " << program_name << " never defined imported region '"
-                                 << spec.importer_region << "' required by connection "
-                                 << conn);
-        }
-        // Ship our geometry to every peer rep.
-        ship_peer_meta();
-        maybe_broadcast_meta();
-        break;
-      }
-      case kTagPeerRegionMeta: {
-        Reader r(m.payload);
-        const auto conn = r.get<std::uint32_t>();
-        // emplace ignores duplicates (a peer re-shipped after a nudge).
-        peer_meta.emplace(static_cast<int>(conn), RegionMeta::decode_from(r));
-        // Acknowledge every receipt (duplicates included): the peer rep
-        // re-ships until acked, so a lost ack is repaired by re-acking the
-        // re-shipment.
-        if (reliable_finish) {
-          ctx.send(m.src, kTagPeerMetaAck, ConnMsg{conn}.encode());
-        }
-        maybe_broadcast_meta();
-        break;
-      }
-      case kTagPeerMetaAck: {
-        const ConnMsg msg = ConnMsg::decode(m.payload);
-        peer_meta_acked.insert(static_cast<int>(msg.conn));
-        break;
-      }
-      case kTagMetaNudge: {
-        if (is_own_proc(m.src)) {
-          // A worker never saw the meta broadcast: replay it to that
-          // worker alone once it exists.
-          if (meta_broadcast) {
-            ctx.send(m.src, kTagRegionMetaBcast, meta_payload);
-            ++result.meta_resends;
-          }
-        } else if (defs_received) {
-          // A peer rep is missing our geometry: re-ship everything bound
-          // for that rep (cheap, idempotent on the receiving side).
-          ship_peer_meta();
-          ++result.meta_resends;
-        }
-        break;
-      }
-      case kTagImportRequest: {
-        const RequestMsg req = RequestMsg::decode(m.payload);
-        const auto cached = import_answers.find({req.conn, req.seq});
-        if (cached != import_answers.end()) {
-          // Retried request whose answer already exists: replay the
-          // broadcast instead of bothering the exporter again.
-          const transport::Payload payload = cached->second.encode();
-          for (ProcId proc : pl.proc_ids()) {
-            ctx.send(proc, import_answer_tag(static_cast<int>(req.conn)), payload);
-          }
-          ++result.answers_resent;
-          break;
-        }
-        ctx.send(peer_rep_of(static_cast<int>(req.conn)), kTagRequestForward, req.encode());
-        break;
-      }
-      case kTagRequestForward: {
-        const RequestMsg req = RequestMsg::decode(m.payload);
-        auto agg = aggregators.find(static_cast<int>(req.conn));
-        CCF_CHECK(agg != aggregators.end(),
-                  "request forwarded to non-exporter of connection " << req.conn);
-        if (agg->second.is_answered(req.seq)) {
-          // Duplicate of an answered request: the RepAnswer may have been
-          // lost on the way back — resend it from the aggregator's cache.
-          ctx.send(peer_rep_of(static_cast<int>(req.conn)), kTagRepAnswer,
-                   agg->second.answer_of(req.seq).encode());
-          ++result.answers_resent;
-          break;
-        }
-        const bool duplicate = agg->second.is_open(req.seq);
-        if (!duplicate) agg->second.open(req);
-        else ++result.duplicates_ignored;
-        // (Re-)forward to the workers. On the duplicate path this re-elicits
-        // responses in case the first ProcForward or the responses were
-        // lost; workers dedup by request seq and replay what they answered.
-        const transport::Payload payload = req.encode();
-        for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagProcForward, payload);
-        if (!duplicate) ++result.requests_forwarded;
-        break;
-      }
-      case kTagProcResponse: {
-        const ResponseMsg resp = ResponseMsg::decode(m.payload);
-        const int rank = static_cast<int>(m.src - pl.first);
-        auto agg = aggregators.find(static_cast<int>(resp.conn));
-        CCF_CHECK(agg != aggregators.end(), "response for unknown connection " << resp.conn);
-        ++result.responses_received;
-        const RequestAggregator::Actions actions = agg->second.on_response(rank, resp);
-        if (actions.answer_importer) {
-          ctx.send(peer_rep_of(static_cast<int>(resp.conn)), kTagRepAnswer,
-                   actions.answer_importer->encode());
-          ++result.answers_sent;
-        }
-        if (!actions.buddy_help_ranks.empty()) {
-          const AnswerMsg& answer = agg->second.answer_of(resp.seq);
-          const transport::Payload payload = answer.encode();
-          for (int r : actions.buddy_help_ranks) {
-            ctx.send(pl.proc(r), kTagBuddyHelp, payload);
-            ++result.buddy_helps_sent;
-          }
-        }
-        // A withheld ConnClosed becomes deliverable once this rank has
-        // responded to every forwarded request (see notify_conn_closed).
-        if (conn_closed_pending.count(static_cast<int>(resp.conn)) &&
-            agg->second.rank_answered_all(rank)) {
-          ctx.send(m.src, kTagConnClosed,
-                   ConnMsg{resp.conn}.encode());
-          if ([&] {
-                for (int r = 0; r < pl.nprocs; ++r) {
-                  if (!agg->second.rank_answered_all(r)) return false;
-                }
-                return true;
-              }()) {
-            conn_closed_pending.erase(static_cast<int>(resp.conn));
-          }
-        }
-        break;
-      }
-      case kTagRepAnswer: {
-        const AnswerMsg answer = AnswerMsg::decode(m.payload);
-        const auto [it, fresh] = import_answers.emplace(
-            std::make_pair(answer.conn, answer.seq), answer);
-        if (!fresh) ++result.duplicates_ignored;
-        // (Re-)broadcast either way: a duplicate RepAnswer means the
-        // exporter saw a retry, so some proc is still waiting.
-        const transport::Payload payload = it->second.encode();
-        for (ProcId proc : pl.proc_ids()) {
-          ctx.send(proc, import_answer_tag(static_cast<int>(answer.conn)), payload);
-        }
-        break;
-      }
-      case kTagImporterConnDone: {
-        const ConnMsg msg = ConnMsg::decode(m.payload);
-        conn_done_ranks[static_cast<int>(msg.conn)].insert(static_cast<int>(m.src - pl.first));
-        if (!import_conns_done.insert(static_cast<int>(msg.conn)).second) {
-          ++result.duplicates_ignored;
-        }
-        // Relay every time: the previous ConnFinished may have been lost.
-        ctx.send(peer_rep_of(static_cast<int>(msg.conn)), kTagConnFinished, msg.encode());
-        break;
-      }
-      case kTagConnFinished: {
-        const ConnMsg msg = ConnMsg::decode(m.payload);
-        if (!export_conns_finished.insert(static_cast<int>(msg.conn)).second) {
-          ++result.duplicates_ignored;
-        }
-        // Tell the worker processes the importer left: they release every
-        // snapshot held for this connection and stop buffering for it.
-        // Re-broadcast on duplicates (idempotent at the workers).
-        notify_conn_closed(static_cast<int>(msg.conn));
-        if (reliable_finish) {
-          ctx.send(m.src, kTagConnFinishedAck, msg.encode());
-        }
-        break;
-      }
-      case kTagConnFinishedAck: {
-        const ConnMsg msg = ConnMsg::decode(m.payload);
-        conn_finished_acked.insert(static_cast<int>(msg.conn));
-        break;
-      }
-      case kTagMetaAck:
-        meta_acked.insert(m.src);
-        break;
-      case kTagProcPressure:
-        on_proc_pressure(m);
-        break;
-      case kTagPressure: {
-        // The exporter side of one of our import connections changed
-        // pressure level: relay to our procs so they throttle requests.
-        const PressureMsg msg = PressureMsg::decode(m.payload);
-        const transport::Payload payload = msg.encode();
-        for (ProcId proc : pl.proc_ids()) ctx.send(proc, kTagPressureBcast, payload);
-        ++result.pressure_broadcasts;
-        break;
-      }
-      default:
-        throw util::InternalError("rep of " + program_name + " got unexpected tag " +
-                                  std::to_string(m.tag));
+    process(m);
+    if (down.enabled) {
+      // Drain the rest of the wave so simultaneous arrivals coalesce into
+      // one down-frame per top-level sub-rep. (Flat layouts keep the
+      // strict one-message-per-iteration loop — byte-identical traffic.)
+      while (auto more = ctx.try_recv(MatchSpec{kAnyProc, kAnyTag})) process(*more);
+      down.flush();
     }
   }
 
-  for (ProcId proc : pl.proc_ids()) {
-    ctx.send(proc, kTagShutdownProc, transport::empty_payload());
+  transport::Payload shutdown_payload = transport::empty_payload();
+  if (pl.shards > 1) {
+    Writer w;
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(shard));
+    shutdown_payload = w.take();
   }
+  down.bcast(kTagShutdownProc, shutdown_payload);
+  down.flush();
   for (const auto& [conn, agg] : aggregators) {
     const auto& log = agg.answer_log();
     result.answers.insert(result.answers.end(), log.begin(), log.end());

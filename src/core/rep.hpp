@@ -39,16 +39,26 @@ struct RepResult {
   std::uint64_t pressure_notices = 0;    ///< Pressure notes sent to importer reps
   std::uint64_t pressure_broadcasts = 0; ///< PressureBcast fan-outs to own procs
 
+  // Aggregation-tree accounting (docs/PROTOCOL.md; the tree-off defaults
+  // leave frames_* zero and make wire_in the plain inbound message count).
+  std::uint64_t wire_in = 0;             ///< inbound control wire messages
+  std::uint64_t frames_in = 0;           ///< batched up-frames among them
+  std::uint64_t frame_entries_in = 0;    ///< entries unpacked from up-frames
+  std::uint64_t frames_out = 0;          ///< batched down-frames emitted
+  std::uint64_t frame_entries_out = 0;   ///< entries packed into down-frames
+
   /// Observation hook: every collective answer determined on exported
   /// connections, ordered by (connection, determination order). The model-
   /// checking conformance checker compares this against the oracle.
   std::vector<AnswerMsg> answers;
 };
 
-/// Runs the rep to completion. Intended as the process body for the
-/// program's rep slot in the deployment layout.
+/// Runs rep shard `shard` to completion. Intended as the process body for
+/// the program's rep slot(s) in the deployment layout. A shard owns the
+/// connections with `conn % shards == shard`; with the default single
+/// shard that is every connection (the pre-shard behavior, byte for byte).
 RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
                   const DeploymentLayout& layout, const std::string& program_name,
-                  FrameworkOptions options = {});
+                  FrameworkOptions options = {}, int shard = 0);
 
 }  // namespace ccf::core

@@ -14,6 +14,11 @@ void print_run_report(const CoupledSystem& system, std::ostream& os) {
       os << "; rep: " << rep.requests_forwarded << " requests, " << rep.answers_sent
          << " answers, " << rep.buddy_helps_sent << " buddy-helps";
     }
+    if (rep.frames_in > 0 || rep.frames_out > 0) {
+      os << "; tree: " << rep.frames_in << " frames in (" << rep.frame_entries_in
+         << " entries), " << rep.frames_out << " frames out (" << rep.frame_entries_out
+         << " entries)";
+    }
     os << ")\n";
 
     bool any_exports = false, any_imports = false;
@@ -90,8 +95,19 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                  "no_matches", "dup_requests", "reordered_requests", "degraded_conns",
                  "request_retries", "stale_answers", "bytes_delivered", "bytes_pack_copied",
                  "copies_per_byte", "sends_aliased", "sends_packed", "peak_buffered_bytes",
-                 "evictions", "spill_bytes", "restores"});
+                 "evictions", "spill_bytes", "restores", "rep_requests", "rep_answers",
+                 "rep_helps", "rep_pressure"});
   for (const auto& prog : system.config().programs()) {
+    // One control-plane row per program: the rep layer's per-message-class
+    // totals (summed across shards). rank -1 marks the row as belonging to
+    // the representative, not any worker process.
+    const RepResult& rep = system.rep_result(prog.name);
+    csv.write_row({prog.name, "-1", "rep", "-", "0", "0", "0", "0", "0", "0", "0", "0", "0",
+                   "0", "0", "0", "0", "0", "0", "0", "0", "0", "0", "0", "0", "0", "0", "0",
+                   std::to_string(rep.requests_forwarded), std::to_string(rep.answers_sent),
+                   std::to_string(rep.buddy_helps_sent),
+                   std::to_string(rep.pressure_signals + rep.pressure_notices +
+                                  rep.pressure_broadcasts)});
     for (int r = 0; r < prog.nprocs; ++r) {
       const ProcStats& stats = system.proc_stats(prog.name, r);
       for (const auto& e : stats.exports) {
@@ -109,7 +125,7 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                        std::to_string(e.buffer.peak_bytes),
                        std::to_string(e.buffer.evictions),
                        std::to_string(e.buffer.spill_bytes),
-                       std::to_string(e.buffer.restores)});
+                       std::to_string(e.buffer.restores), "0", "0", "0", "0"});
       }
       for (const auto& i : stats.imports) {
         csv.write_row({prog.name, std::to_string(r), "import", i.region, "0", "0", "0", "0",
@@ -117,7 +133,7 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                        std::to_string(i.no_matches), "0", "0", "0",
                        std::to_string(stats.ft.request_retries),
                        std::to_string(stats.ft.stale_answers), "0", "0", "0", "0", "0", "0",
-                       "0", "0", "0"});
+                       "0", "0", "0", "0", "0", "0", "0"});
       }
     }
   }

@@ -17,7 +17,10 @@ void print_run_report(const CoupledSystem& system, std::ostream& os);
 
 /// Writes the same data as CSV rows:
 ///   program,rank,kind,region,exports,memcpys,skips,transfers,helps,
-///   stalls,t_ub_seconds,imports,matches,no_matches
+///   stalls,t_ub_seconds,imports,matches,no_matches,...
+/// plus one kind=rep row per program (rank -1) carrying the control
+/// plane's per-message-class totals: rep_requests, rep_answers,
+/// rep_helps, rep_pressure (summed across rep shards).
 void write_run_report_csv(const CoupledSystem& system, const std::string& path);
 
 }  // namespace ccf::core

@@ -95,6 +95,7 @@ struct FaultToleranceStats {
   std::uint64_t heartbeats = 0;        ///< rep heartbeats consumed
   std::uint64_t commit_retries = 0;    ///< startup geometry handshake retries
   std::uint64_t conn_done_retries = 0; ///< re-sent shutdown notifications
+  std::uint64_t reparents = 0;         ///< tree fallbacks: dead sub-rep, now direct
   bool rep_departed = false;           ///< finished via departure timeout
 };
 

@@ -1,0 +1,194 @@
+#include "core/subrep.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "util/check.hpp"
+
+namespace ccf::core {
+
+using runtime::MatchSpec;
+using runtime::Message;
+using transport::kAnyProc;
+using transport::kAnyTag;
+using transport::Reader;
+
+namespace {
+
+/// Mutation-catch hook (tests/modelcheck): when set, the relay silently
+/// drops every 3rd upward entry, breaking batched-answer coalescing. The
+/// conformance gate must flag the resulting divergence.
+bool mutate_tree() {
+  static const bool on = std::getenv("CCF_MC_MUTATE_TREE") != nullptr;
+  return on;
+}
+
+/// First u32 of a payload, 0 for payloads too short to carry one. All
+/// conn-scoped control messages lead with their u32 conn; MetaAck leads
+/// with its target shard.
+std::uint32_t leading_u32(const transport::Payload& p) {
+  if (p.size() < sizeof(std::uint32_t)) return 0;
+  Reader r(p);
+  return r.get<std::uint32_t>();
+}
+
+/// True for upward tags every shard needs a copy of (not scoped to one
+/// connection): region definitions, meta nudges, and per-process pressure
+/// level changes.
+bool all_shard_tag(transport::Tag tag) {
+  return tag == kTagRegionDefs || tag == kTagMetaNudge || tag == kTagProcPressure;
+}
+
+}  // namespace
+
+SubRepResult run_subrep(runtime::ProcessContext& ctx, const Config& config,
+                        const DeploymentLayout& layout, const std::string& program_name,
+                        int node_index, FrameworkOptions options) {
+  (void)config;
+  const ProgramLayout& pl = layout.program(program_name);
+  CCF_REQUIRE(node_index >= 0 && node_index < static_cast<int>(pl.tree.size()),
+              "sub-rep node " << node_index << " outside tree of " << program_name);
+  const TreeNode& node = pl.tree[static_cast<std::size_t>(node_index)];
+  CCF_REQUIRE(ctx.id() == pl.subrep(node_index), "sub-rep body running on wrong process id");
+  const bool top = node.parent == -1;
+
+  // Child process ids, and — for interior nodes — which child subtree each
+  // worker rank lives in (down-frame splitting).
+  std::vector<ProcId> child_ids;
+  std::vector<std::vector<int>> child_ranks;  ///< ranks per child, index-aligned
+  std::vector<int> rank_to_child(static_cast<std::size_t>(pl.nprocs), -1);
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const int c = node.children[i];
+    child_ids.push_back(node.leaf_level ? pl.proc(c) : pl.subrep(c));
+    std::vector<int> ranks = node.leaf_level ? std::vector<int>{c} : pl.subtree_ranks(c);
+    for (int r : ranks) rank_to_child[static_cast<std::size_t>(r)] = static_cast<int>(i);
+    child_ranks.push_back(std::move(ranks));
+  }
+
+  const bool tolerant =
+      options.failure_tolerance() && options.departure_timeout_seconds > 0;
+  const bool kill_me = options.debug_kill_subrep == node_index &&
+                       options.debug_kill_subrep_program == program_name;
+
+  SubRepResult res;
+  std::uint64_t up_seq = 0;  ///< mutation hook counter
+  std::set<int> shutdown_shards;
+  double last_down_seen = ctx.now();
+
+  // Upward coalescing buffers: one frame per destination per wave. Interior
+  // nodes have a single destination (the parent node); top nodes route
+  // per rep shard.
+  const std::size_t up_dests = top ? static_cast<std::size_t>(pl.shards) : 1;
+  std::vector<std::vector<FrameEntry>> up(up_dests);
+
+  auto push_up = [&](FrameEntry e) {
+    if (mutate_tree() && (++up_seq % 3 == 0)) return;  // drop every 3rd entry
+    if (!top) {
+      up[0].push_back(std::move(e));
+      return;
+    }
+    if (pl.shards > 1 && all_shard_tag(e.tag)) {
+      for (auto& dest : up) dest.push_back(e);  // payload shared, zero-copy
+      return;
+    }
+    const int shard =
+        pl.shards > 1 ? static_cast<int>(leading_u32(e.payload)) % pl.shards : 0;
+    up[static_cast<std::size_t>(shard)].push_back(std::move(e));
+  };
+
+  auto flush_up = [&] {
+    for (std::size_t d = 0; d < up.size(); ++d) {
+      if (up[d].empty()) continue;
+      const ProcId dest = top ? pl.shard_id(static_cast<int>(d)) : pl.subrep(node.parent);
+      ctx.send(dest, kTagTreeUp, encode_frame(up[d]));
+      ++res.frames_up;
+      res.entries_up += up[d].size();
+      up[d].clear();
+    }
+  };
+
+  auto relay_down = [&](const Message& m) {
+    last_down_seen = ctx.now();
+    const std::vector<FrameEntry> entries = decode_frame(m.payload);
+    ++res.frames_down;
+    std::vector<std::vector<FrameEntry>> per_child;
+    if (!node.leaf_level) per_child.resize(child_ids.size());
+    for (const FrameEntry& e : entries) {
+      if (e.tag == kTagShutdownProc && e.rank == kFrameBroadcast) {
+        shutdown_shards.insert(pl.shards > 1 ? static_cast<int>(leading_u32(e.payload)) : 0);
+      }
+      if (node.leaf_level) {
+        if (e.rank == kFrameBroadcast) {
+          for (int r : node.children) ctx.send(pl.proc(r), e.tag, e.payload);
+          res.entries_down += node.children.size();
+        } else if (e.rank >= 0 && e.rank < pl.nprocs &&
+                   rank_to_child[static_cast<std::size_t>(e.rank)] >= 0) {
+          ctx.send(pl.proc(e.rank), e.tag, e.payload);
+          ++res.entries_down;
+        }
+        continue;
+      }
+      if (e.rank == kFrameBroadcast) {
+        for (auto& dest : per_child) dest.push_back(e);
+      } else if (e.rank >= 0 && e.rank < pl.nprocs &&
+                 rank_to_child[static_cast<std::size_t>(e.rank)] >= 0) {
+        per_child[static_cast<std::size_t>(rank_to_child[static_cast<std::size_t>(e.rank)])]
+            .push_back(e);
+      }
+    }
+    for (std::size_t i = 0; i < per_child.size(); ++i) {
+      if (per_child[i].empty()) continue;
+      ctx.send(child_ids[i], kTagTreeDown, encode_frame(per_child[i]));
+      res.entries_down += per_child[i].size();
+    }
+  };
+
+  auto process = [&](const Message& m) {
+    ++res.wire_in;
+    if (options.rep_dispatch_seconds > 0) ctx.compute(options.rep_dispatch_seconds);
+    if (m.tag == kTagTreeDown) {
+      relay_down(m);
+    } else if (m.tag == kTagTreeUp) {
+      // A child sub-rep's batch: re-route its entries (merging waves).
+      for (FrameEntry& e : decode_frame(m.payload)) push_up(std::move(e));
+    } else {
+      // Plain control message from one of our worker children.
+      CCF_CHECK(m.src >= pl.first && m.src < pl.first + pl.nprocs,
+                "sub-rep of " << program_name << " got tag " << m.tag
+                              << " from non-child process " << m.src);
+      push_up(FrameEntry{static_cast<std::int32_t>(m.src - pl.first), m.tag, m.payload});
+    }
+  };
+
+  while (static_cast<int>(shutdown_shards.size()) < pl.shards) {
+    std::optional<Message> m;
+    if (tolerant || kill_me) {
+      double deadline = tolerant ? last_down_seen + options.departure_timeout_seconds : 1e300;
+      if (kill_me && options.debug_kill_subrep_at < deadline) {
+        deadline = options.debug_kill_subrep_at;
+      }
+      m = ctx.recv_until(MatchSpec{kAnyProc, kAnyTag}, deadline);
+      if (!m) {
+        if (kill_me && ctx.now() >= options.debug_kill_subrep_at) return res;  // silent death
+        // Nothing from above for a whole departure window: the rep layer
+        // is gone (or this node was partitioned off). Exit; the children
+        // detect the same silence and re-parent onto the shards.
+        return res;
+      }
+    } else {
+      m = ctx.recv(MatchSpec{kAnyProc, kAnyTag});
+    }
+    process(*m);
+    // Drain the rest of the wave before flushing: simultaneous arrivals
+    // coalesce into one frame per destination.
+    while (auto more = ctx.try_recv(MatchSpec{kAnyProc, kAnyTag})) process(*more);
+    flush_up();
+  }
+  return res;
+}
+
+}  // namespace ccf::core

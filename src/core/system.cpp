@@ -1,8 +1,46 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace ccf::core {
+
+namespace {
+
+/// Folds per-shard rep results into one program-wide view: counters are
+/// summed and answers re-grouped by connection (each shard already lists
+/// its owned connections' answers in determination order, so a stable sort
+/// by connection reproduces the single-shard ordering).
+RepResult merge_rep_shards(std::vector<RepResult>& shards) {
+  if (shards.size() == 1) return std::move(shards.front());
+  RepResult merged;
+  for (RepResult& s : shards) {
+    merged.requests_forwarded += s.requests_forwarded;
+    merged.answers_sent += s.answers_sent;
+    merged.buddy_helps_sent += s.buddy_helps_sent;
+    merged.responses_received += s.responses_received;
+    merged.duplicates_ignored += s.duplicates_ignored;
+    merged.answers_resent += s.answers_resent;
+    merged.heartbeats_sent += s.heartbeats_sent;
+    merged.meta_resends += s.meta_resends;
+    merged.forward_resends += s.forward_resends;
+    merged.pressure_signals += s.pressure_signals;
+    merged.pressure_notices += s.pressure_notices;
+    merged.pressure_broadcasts += s.pressure_broadcasts;
+    merged.wire_in += s.wire_in;
+    merged.frames_in += s.frames_in;
+    merged.frame_entries_in += s.frame_entries_in;
+    merged.frames_out += s.frames_out;
+    merged.frame_entries_out += s.frame_entries_out;
+    merged.answers.insert(merged.answers.end(), s.answers.begin(), s.answers.end());
+  }
+  std::stable_sort(merged.answers.begin(), merged.answers.end(),
+                   [](const AnswerMsg& a, const AnswerMsg& b) { return a.conn < b.conn; });
+  return merged;
+}
+
+}  // namespace
 
 CoupledSystem::CoupledSystem(Config config, runtime::ClusterOptions cluster_options,
                              FrameworkOptions framework_options)
@@ -14,6 +52,7 @@ CoupledSystem::CoupledSystem(Config config, runtime::ClusterOptions cluster_opti
   for (const auto& prog : config_.programs()) {
     slots_[prog.name].resize(static_cast<std::size_t>(prog.nprocs));
     rep_results_[prog.name] = RepResult{};
+    subrep_results_[prog.name] = SubRepResult{};
   }
 }
 
@@ -48,14 +87,42 @@ void CoupledSystem::run() {
         }
       });
     }
-    RepResult* rep_slot = &rep_results_[prog.name];
     const std::string name = prog.name;
-    cluster->add_process(pl.rep, [this, name, rep_slot](runtime::ProcessContext& ctx) {
-      *rep_slot = run_rep(ctx, config_, layout_, name, framework_options_);
-    });
+    auto& shard_slots = rep_shard_results_[name];
+    shard_slots.resize(static_cast<std::size_t>(pl.shards));
+    for (int s = 0; s < pl.shards; ++s) {
+      RepResult* shard_slot = &shard_slots[static_cast<std::size_t>(s)];
+      cluster->add_process(pl.shard_id(s),
+                           [this, name, s, shard_slot](runtime::ProcessContext& ctx) {
+        *shard_slot = run_rep(ctx, config_, layout_, name, framework_options_, s);
+      });
+    }
+    auto& node_slots = subrep_node_results_[name];
+    node_slots.resize(pl.tree.size());
+    for (std::size_t node = 0; node < pl.tree.size(); ++node) {
+      SubRepResult* node_slot = &node_slots[node];
+      cluster->add_process(pl.subrep(static_cast<int>(node)),
+                           [this, name, node, node_slot](runtime::ProcessContext& ctx) {
+        *node_slot = run_subrep(ctx, config_, layout_, name, static_cast<int>(node),
+                                framework_options_);
+      });
+    }
   }
   cluster->run();
   end_time_ = cluster->end_time();
+  for (auto& [name, shards] : rep_shard_results_) {
+    rep_results_[name] = merge_rep_shards(shards);
+  }
+  for (auto& [name, nodes] : subrep_node_results_) {
+    SubRepResult& total = subrep_results_[name];
+    for (const SubRepResult& n : nodes) {
+      total.wire_in += n.wire_in;
+      total.frames_up += n.frames_up;
+      total.entries_up += n.entries_up;
+      total.frames_down += n.frames_down;
+      total.entries_down += n.entries_down;
+    }
+  }
 }
 
 const ProcStats& CoupledSystem::proc_stats(const std::string& program, int rank) const {
@@ -93,6 +160,12 @@ const std::vector<TraceEvent>& CoupledSystem::trace_events(const std::string& pr
 const RepResult& CoupledSystem::rep_result(const std::string& program) const {
   auto it = rep_results_.find(program);
   CCF_REQUIRE(it != rep_results_.end(), "unknown program '" << program << "'");
+  return it->second;
+}
+
+const SubRepResult& CoupledSystem::subrep_result(const std::string& program) const {
+  auto it = subrep_results_.find(program);
+  CCF_REQUIRE(it != subrep_results_.end(), "unknown program '" << program << "'");
   return it->second;
 }
 

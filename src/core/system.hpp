@@ -14,6 +14,7 @@
 
 #include "core/coupling_runtime.hpp"
 #include "core/rep.hpp"
+#include "core/subrep.hpp"
 #include "runtime/cluster.hpp"
 
 namespace ccf::core {
@@ -52,7 +53,14 @@ class CoupledSystem {
   const std::vector<TraceEvent>& trace_events(const std::string& program, int rank,
                                               const std::string& region) const;
 
+  /// Program-wide rep counters and answers (valid after run()). With a
+  /// sharded rep this is the merge over all shards: counters summed,
+  /// answers re-grouped by connection in determination order.
   const RepResult& rep_result(const std::string& program) const;
+
+  /// Aggregation-tree relay counters summed over the program's sub-reps
+  /// (all zero when the program runs without a tree).
+  const SubRepResult& subrep_result(const std::string& program) const;
 
  private:
   struct ProcSlot {
@@ -67,7 +75,10 @@ class CoupledSystem {
   DeploymentLayout layout_;
   std::map<std::string, ProgramBody> bodies_;
   std::map<std::string, std::vector<ProcSlot>> slots_;
+  std::map<std::string, std::vector<RepResult>> rep_shard_results_;      ///< raw, per shard
+  std::map<std::string, std::vector<SubRepResult>> subrep_node_results_; ///< raw, per node
   std::map<std::string, RepResult> rep_results_;
+  std::map<std::string, SubRepResult> subrep_results_;
   double end_time_ = 0;
   bool ran_ = false;
 };

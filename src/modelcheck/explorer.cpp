@@ -48,8 +48,12 @@ FrameworkOptions framework_options(const Scenario& s) {
 
 Observation run_scenario(const Scenario& s) {
   Config config;
-  config.add_program(ProgramSpec{"E", "h", "/e", s.exporter_procs, {}});
-  config.add_program(ProgramSpec{"I", "h", "/i", s.importer_procs, {}});
+  ProgramSpec e_spec{"E", "h", "/e", s.exporter_procs, {}};
+  ProgramSpec i_spec{"I", "h", "/i", s.importer_procs, {}};
+  e_spec.rep_fanin = i_spec.rep_fanin = s.rep_fanin;
+  e_spec.rep_shards = i_spec.rep_shards = s.rep_shards;
+  config.add_program(e_spec);
+  config.add_program(i_spec);
   config.add_connection(ConnectionSpec{"E", "r", "I", "r", s.policy, s.tolerance, {}});
 
   const auto rows = static_cast<dist::Index>(s.rows);

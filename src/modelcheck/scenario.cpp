@@ -73,6 +73,13 @@ Scenario generate_scenario(std::uint64_t seed) {
   // seeds stay replayable across versions). Tight budgets (1 snapshot)
   // force eviction on nearly every buffered export.
   if (rng.uniform() < 0.4) s.budget_snapshots = 1 + static_cast<int>(rng.below(4));
+
+  // Hierarchical-representative knobs, drawn after every earlier field for
+  // the same replayability reason. Fan-in 2 with 3-4 ranks builds real
+  // sub-rep layers; fan-in >= nprocs degenerates to direct attachment,
+  // which must behave identically to the flat layout.
+  if (rng.uniform() < 0.35) s.rep_fanin = 2 + static_cast<int>(rng.below(2));
+  if (rng.uniform() < 0.2) s.rep_shards = 2;
   return s;
 }
 
@@ -81,7 +88,8 @@ std::string describe(const Scenario& s) {
   os << "seed=" << s.seed << " policy=" << core::to_string(s.policy) << " tol=" << s.tolerance
      << " eprocs=" << s.exporter_procs << " iprocs=" << s.importer_procs
      << " buddy_help=" << (s.buddy_help ? 1 : 0)
-     << " budget_snapshots=" << s.budget_snapshots;
+     << " budget_snapshots=" << s.budget_snapshots
+     << " rep_fanin=" << s.rep_fanin << " rep_shards=" << s.rep_shards;
   os << " exports=[";
   for (std::size_t i = 0; i < s.exports.size(); ++i) os << (i ? " " : "") << s.exports[i];
   os << "] requests=[";

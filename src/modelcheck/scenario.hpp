@@ -60,6 +60,13 @@ struct Scenario {
   /// a spill store, exercising eviction/restore under the conformance
   /// oracle — governance must never change a collective answer.
   int budget_snapshots = 0;
+  /// Hierarchical-representative topology (docs/PROTOCOL.md) applied to
+  /// both programs. 0/1 is the flat pre-tree layout; fan-in >= 2 routes
+  /// all control traffic through batching sub-reps, and shards > 1 splits
+  /// connection ownership across sibling rep shards — neither may change
+  /// any collective answer.
+  int rep_fanin = 0;
+  int rep_shards = 1;
 };
 
 /// Deterministically derives a Scenario from a seed: mixed policies,

@@ -12,7 +12,8 @@ std::size_t weight(const Scenario& s) {
   return s.exports.size() + s.requests.size() +
          static_cast<std::size_t>(s.exporter_procs + s.importer_procs) +
          (s.faults.enabled ? 1 : 0) + (s.buddy_help ? 1 : 0) +
-         (s.budget_snapshots > 0 ? 1 : 0);
+         (s.budget_snapshots > 0 ? 1 : 0) + (s.rep_fanin > 0 ? 1 : 0) +
+         (s.rep_shards > 1 ? 1 : 0);
 }
 
 struct Search {
@@ -79,6 +80,23 @@ void structural_passes(Search& search) {
     Scenario c = search.best.scenario;
     if (c.budget_snapshots > 0) {
       c.budget_snapshots = 0;
+      search.try_candidate(c);
+    }
+  }
+  {
+    // Same for the representative topology: if the failure reproduces on
+    // the flat single-shard layout, report that — and if it does not, the
+    // surviving fanin/shards fields point straight at the tree layer.
+    Scenario c = search.best.scenario;
+    if (c.rep_fanin > 0) {
+      c.rep_fanin = 0;
+      search.try_candidate(c);
+    }
+  }
+  {
+    Scenario c = search.best.scenario;
+    if (c.rep_shards > 1) {
+      c.rep_shards = 1;
       search.try_candidate(c);
     }
   }

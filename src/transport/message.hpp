@@ -97,13 +97,17 @@ struct Message {
   std::size_t size_bytes() const { return payload.size(); }
 };
 
-/// Receive-side matching predicate: src and tag each either exact or wildcard.
+/// Receive-side matching predicate: src and tag each either exact or
+/// wildcard. `src_count > 1` widens the source to the contiguous id range
+/// [src, src + src_count) — a worker listening to all rep shards at once.
 struct MatchSpec {
   ProcId src = kAnyProc;
   Tag tag = kAnyTag;
+  ProcId src_count = 1;
 
   bool matches(const Message& m) const {
-    return (src == kAnyProc || src == m.src) && (tag == kAnyTag || tag == m.tag);
+    const bool src_ok = src == kAnyProc || (m.src >= src && m.src < src + src_count);
+    return src_ok && (tag == kAnyTag || tag == m.tag);
   }
 };
 

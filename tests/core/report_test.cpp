@@ -71,11 +71,47 @@ TEST(RunReport, CsvHasHeaderAndOneRowPerProcRegion) {
   std::vector<std::string> lines;
   std::string line;
   while (std::getline(in, line)) lines.push_back(line);
-  // header + 2 exporter rows + 1 importer row.
-  ASSERT_EQ(lines.size(), 4u);
+  // header + (rep row + 2 exporter rows) for E + (rep row + 1 importer
+  // row) for I.
+  ASSERT_EQ(lines.size(), 6u);
   EXPECT_NE(lines[0].find("program,rank,kind,region"), std::string::npos);
-  EXPECT_NE(lines[1].find("E,0,export,field"), std::string::npos);
-  EXPECT_NE(lines[3].find("I,0,import,field"), std::string::npos);
+  EXPECT_NE(lines[0].find("rep_requests,rep_answers,rep_helps,rep_pressure"),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("E,-1,rep,-"), std::string::npos);
+  EXPECT_NE(lines[2].find("E,0,export,field"), std::string::npos);
+  EXPECT_NE(lines[4].find("I,-1,rep,-"), std::string::npos);
+  EXPECT_NE(lines[5].find("I,0,import,field"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Golden cross-check: the kind=rep row's per-message-class columns must
+// equal the RepResult counters, field for field.
+TEST(RunReport, CsvRepRowMatchesRepResult) {
+  const CoupledSystem system = run_small_system();
+  const std::string path = "/tmp/ccf_report_rep_test.csv";
+  write_run_report_csv(system, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);
+
+  const RepResult& rep = system.rep_result("E");
+  EXPECT_GT(rep.requests_forwarded, 0u);
+  EXPECT_GT(rep.answers_sent, 0u);
+  std::vector<std::string> fields;
+  std::stringstream row(lines[1]);
+  std::string field;
+  while (std::getline(row, field, ',')) fields.push_back(field);
+  ASSERT_GE(fields.size(), 4u);
+  // The row's last four fields are the message-class columns, in order.
+  EXPECT_EQ(fields[fields.size() - 4], std::to_string(rep.requests_forwarded));
+  EXPECT_EQ(fields[fields.size() - 3], std::to_string(rep.answers_sent));
+  EXPECT_EQ(fields[fields.size() - 2], std::to_string(rep.buddy_helps_sent));
+  EXPECT_EQ(fields[fields.size() - 1],
+            std::to_string(rep.pressure_signals + rep.pressure_notices +
+                           rep.pressure_broadcasts));
   std::remove(path.c_str());
 }
 
@@ -108,7 +144,7 @@ TEST(RunReport, CsvGovernanceFieldsMatchStatsOnGovernedRun) {
   std::vector<std::string> lines;
   std::string line;
   while (std::getline(in, line)) lines.push_back(line);
-  ASSERT_EQ(lines.size(), 4u);
+  ASSERT_EQ(lines.size(), 6u);
   EXPECT_NE(lines[0].find("peak_buffered_bytes,evictions,spill_bytes,restores"),
             std::string::npos);
 
@@ -119,16 +155,18 @@ TEST(RunReport, CsvGovernanceFieldsMatchStatsOnGovernedRun) {
     EXPECT_GT(buf.evictions, 0u);
     EXPECT_GT(buf.spill_bytes, 0u);
     EXPECT_LE(buf.peak_bytes, options.memory.budget_bytes);
-    // The row's last four fields are the governance columns, in order.
+    // The governance columns sit just before the four rep message-class
+    // columns (zero on worker rows), in order. lines[1] is E's rep row.
     std::vector<std::string> fields;
-    std::stringstream row(lines[1 + r]);
+    std::stringstream row(lines[static_cast<std::size_t>(2 + r)]);
     std::string field;
     while (std::getline(row, field, ',')) fields.push_back(field);
-    ASSERT_GE(fields.size(), 4u);
-    EXPECT_EQ(fields[fields.size() - 4], std::to_string(buf.peak_bytes));
-    EXPECT_EQ(fields[fields.size() - 3], std::to_string(buf.evictions));
-    EXPECT_EQ(fields[fields.size() - 2], std::to_string(buf.spill_bytes));
-    EXPECT_EQ(fields[fields.size() - 1], std::to_string(buf.restores));
+    ASSERT_GE(fields.size(), 8u);
+    EXPECT_EQ(fields[fields.size() - 8], std::to_string(buf.peak_bytes));
+    EXPECT_EQ(fields[fields.size() - 7], std::to_string(buf.evictions));
+    EXPECT_EQ(fields[fields.size() - 6], std::to_string(buf.spill_bytes));
+    EXPECT_EQ(fields[fields.size() - 5], std::to_string(buf.restores));
+    EXPECT_EQ(fields[fields.size() - 4], "0");
   }
   std::remove(path.c_str());
   fs::remove_all(spill_dir);

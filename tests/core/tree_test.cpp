@@ -1,0 +1,203 @@
+// Aggregation-tree building blocks: layout math (fan-in tree shape, id
+// allocation, rank->node lookup) and the batched control-frame codec
+// (docs/PROTOCOL.md, "Hierarchical representatives").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/layout.hpp"
+#include "core/protocol.hpp"
+
+namespace ccf::core {
+namespace {
+
+TEST(TreeBuildTest, FlatWhenFaninOffOrRanksFit) {
+  EXPECT_TRUE(ProgramLayout::build_tree(64, 0).empty());
+  EXPECT_TRUE(ProgramLayout::build_tree(64, 1).empty());
+  // Every rank attaches directly to the rep when nprocs <= fanin.
+  EXPECT_TRUE(ProgramLayout::build_tree(4, 4).empty());
+  EXPECT_TRUE(ProgramLayout::build_tree(1, 2).empty());
+}
+
+TEST(TreeBuildTest, EveryNodeRespectsFanin) {
+  for (int nprocs : {5, 8, 17, 64, 100, 257}) {
+    for (int fanin : {2, 3, 4, 8}) {
+      const auto tree = ProgramLayout::build_tree(nprocs, fanin);
+      if (nprocs <= fanin) {
+        EXPECT_TRUE(tree.empty());
+        continue;
+      }
+      ASSERT_FALSE(tree.empty());
+      int tops = 0;
+      for (const auto& node : tree) {
+        EXPECT_LE(node.children.size(), static_cast<std::size_t>(fanin));
+        EXPECT_FALSE(node.children.empty());
+        if (node.parent == -1) ++tops;
+      }
+      // The rep itself must end up with at most `fanin` children.
+      EXPECT_LE(tops, fanin);
+    }
+  }
+}
+
+TEST(TreeBuildTest, LeavesPartitionTheRanks) {
+  const int nprocs = 23, fanin = 3;
+  const auto tree = ProgramLayout::build_tree(nprocs, fanin);
+  std::set<int> seen;
+  for (const auto& node : tree) {
+    if (!node.leaf_level) continue;
+    for (int rank : node.children) {
+      EXPECT_TRUE(seen.insert(rank).second) << "rank " << rank << " in two leaves";
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(nprocs));
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), nprocs - 1);
+}
+
+TEST(TreeBuildTest, InteriorLinksAreConsistent) {
+  const auto tree = ProgramLayout::build_tree(64, 4);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (tree[i].leaf_level) continue;
+    for (int child : tree[i].children) {
+      ASSERT_GE(child, 0);
+      ASSERT_LT(child, static_cast<int>(tree.size()));
+      EXPECT_EQ(tree[static_cast<std::size_t>(child)].parent, static_cast<int>(i));
+    }
+  }
+}
+
+ProgramSpec spec_with_tree(const std::string& name, int nprocs, int fanin, int shards) {
+  ProgramSpec spec{name, "h", "/bin/" + name, nprocs, {}};
+  spec.rep_fanin = fanin;
+  spec.rep_shards = shards;
+  return spec;
+}
+
+TEST(TreeLayoutTest, DefaultAllocationIsPreTree) {
+  Config config;
+  config.add_program(ProgramSpec{"A", "h", "/a", 2, {}});
+  config.add_program(ProgramSpec{"B", "h", "/b", 1, {}});
+  DeploymentLayout layout(config);
+  const ProgramLayout& a = layout.program("A");
+  EXPECT_EQ(a.first, 0);
+  EXPECT_EQ(a.rep, 2);
+  EXPECT_EQ(a.shards, 1);
+  EXPECT_TRUE(a.tree.empty());
+  EXPECT_EQ(a.parent_of_rank(0), -1);
+  EXPECT_EQ(layout.program("B").first, 3);
+  EXPECT_EQ(layout.program("B").rep, 4);
+  EXPECT_EQ(layout.total_processes(), 5);
+}
+
+TEST(TreeLayoutTest, ShardsAndSubRepsGetContiguousIds) {
+  Config config;
+  config.add_program(spec_with_tree("E", 8, 2, 2));
+  config.add_program(ProgramSpec{"I", "h", "/i", 1, {}});
+  DeploymentLayout layout(config);
+  const ProgramLayout& e = layout.program("E");
+  EXPECT_EQ(e.first, 0);
+  EXPECT_EQ(e.rep, 8);
+  EXPECT_EQ(e.shard_id(1), 9);
+  EXPECT_EQ(e.subrep_first, 10);
+  // 8 ranks at fan-in 2: 4 leaf nodes contracting to 2 top nodes.
+  ASSERT_EQ(e.tree.size(), 6u);
+  EXPECT_EQ(e.top_nodes().size(), 2u);
+  const ProgramLayout& i = layout.program("I");
+  EXPECT_EQ(i.first, 16);
+  EXPECT_EQ(i.rep, 17);
+
+  // owner_of distinguishes workers, rep shards, and sub-reps.
+  EXPECT_EQ(layout.owner_of(3).rank, 3);
+  EXPECT_EQ(layout.owner_of(9).rank, -1);
+  EXPECT_EQ(layout.owner_of(12).rank, -2);
+  EXPECT_EQ(layout.owner_of(12).program, "E");
+}
+
+TEST(TreeLayoutTest, ParentAndSubtreeAgree) {
+  Config config;
+  config.add_program(spec_with_tree("E", 30, 4, 1));
+  DeploymentLayout layout(config);
+  const ProgramLayout& pl = layout.program("E");
+  for (int rank = 0; rank < pl.nprocs; ++rank) {
+    const int node = pl.parent_of_rank(rank);
+    ASSERT_GE(node, 0);
+    const auto ranks = pl.subtree_ranks(node);
+    EXPECT_NE(std::find(ranks.begin(), ranks.end(), rank), ranks.end());
+  }
+  // Top-node subtrees partition all ranks.
+  std::set<int> seen;
+  for (int top : pl.top_nodes()) {
+    for (int rank : pl.subtree_ranks(top)) EXPECT_TRUE(seen.insert(rank).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(pl.nprocs));
+}
+
+TEST(TreeLayoutTest, ControlTargetFollowsShardOwnership) {
+  Config config;
+  config.add_program(spec_with_tree("E", 4, 0, 3));
+  DeploymentLayout layout(config);
+  const ProgramLayout& pl = layout.program("E");
+  EXPECT_EQ(pl.control_target(0), pl.rep);
+  EXPECT_EQ(pl.control_target(4), pl.rep + 1);
+  EXPECT_EQ(pl.control_target(5), pl.rep + 2);
+}
+
+TEST(TreeConfigTest, ProgramLineTokensParse) {
+  const Config config = Config::parse_string(
+      "E host /bin/e 16 fanin=4 shards=2\n"
+      "I host /bin/i 4 extra_flag\n"
+      "#\n"
+      "E.r I.r REGL 0.5\n");
+  EXPECT_EQ(config.program("E").rep_fanin, 4);
+  EXPECT_EQ(config.program("E").rep_shards, 2);
+  EXPECT_EQ(config.program("I").rep_fanin, 0);
+  EXPECT_EQ(config.program("I").rep_shards, 1);
+  ASSERT_EQ(config.program("I").extra_args.size(), 1u);
+  EXPECT_EQ(config.program("I").extra_args[0], "extra_flag");
+}
+
+TEST(TreeConfigTest, RejectsDegenerateFanin) {
+  Config config;
+  EXPECT_THROW(config.add_program(spec_with_tree("E", 8, 1, 1)), util::InvalidArgument);
+  EXPECT_THROW(config.add_program(spec_with_tree("E", 8, 0, 0)), util::InvalidArgument);
+  EXPECT_THROW(Config::parse_string("E h /e 8 fanin=x\n#\n"), util::InvalidArgument);
+}
+
+TEST(FrameCodecTest, RoundTripsEntries) {
+  std::vector<FrameEntry> entries;
+  const transport::Payload p1 = [] {
+    transport::Writer w;
+    w.put<std::uint32_t>(42);
+    w.put<double>(3.5);
+    return w.take();
+  }();
+  entries.push_back(FrameEntry{7, kTagImportRequest, p1});
+  entries.push_back(FrameEntry{kFrameBroadcast, kTagRepHeartbeat, transport::empty_payload()});
+  entries.push_back(FrameEntry{0, kTagMetaAck, transport::empty_payload()});
+
+  const transport::Payload wire = encode_frame(entries);
+  const auto decoded = decode_frame(wire);
+  ASSERT_EQ(decoded.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(decoded[i].rank, entries[i].rank);
+    EXPECT_EQ(decoded[i].tag, entries[i].tag);
+    ASSERT_EQ(decoded[i].payload.size(), entries[i].payload.size());
+    EXPECT_TRUE(std::equal(decoded[i].payload.begin(), decoded[i].payload.end(),
+                           entries[i].payload.begin()));
+  }
+}
+
+TEST(FrameCodecTest, EmptyFrameRoundTrips) {
+  EXPECT_TRUE(decode_frame(encode_frame({})).empty());
+}
+
+TEST(FrameCodecTest, RejectsTruncatedFrames) {
+  std::vector<FrameEntry> entries{FrameEntry{1, kTagImportRequest, transport::empty_payload()}};
+  const transport::Payload wire = encode_frame(entries);
+  EXPECT_THROW(decode_frame(wire.slice(0, wire.size() - 1)), util::Error);
+}
+
+}  // namespace
+}  // namespace ccf::core

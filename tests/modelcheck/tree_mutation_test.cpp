@@ -1,0 +1,70 @@
+// Mutation-detection gate for the hierarchical representative layer: with
+// a deliberately broken relay (every 3rd upward entry silently dropped,
+// wrecking batched-answer coalescing), the conformance harness must flag
+// the run. Lost ProcResponses starve the rep's collective aggregation, so
+// the coupled run wedges and the bounded virtual-time cluster reports the
+// deadlock — which check_scenario converts into a violation. This proves
+// the oracle gate has teeth against tree-layer bugs, not just matcher
+// bugs.
+//
+// CCF_MC_MUTATE_TREE is latched on first use inside the sub-rep body, so
+// it must be set before any scenario runs; a static initializer
+// guarantees that, and the mutation lives in its own test binary because
+// every run in this process sees the mutated relay.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "modelcheck/conformance.hpp"
+#include "modelcheck/scenario.hpp"
+
+namespace ccf::modelcheck {
+namespace {
+
+const bool kMutationArmed = [] {
+  setenv("CCF_MC_MUTATE_TREE", "1", 1);
+  return true;
+}();
+
+/// Lossless scenario with enough ranks that fan-in 2 builds a real
+/// sub-rep layer on both sides. No faults: every dropped entry is the
+/// mutation's doing, and there is no retry machinery to paper over it.
+Scenario tree_scenario(int fanin, int shards) {
+  Scenario s;
+  s.policy = MatchPolicy::REGL;
+  s.tolerance = 0.6;
+  s.exporter_procs = 4;
+  s.importer_procs = 3;
+  s.exports = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  s.requests = {1.2, 2.4, 3.6, 4.8};
+  s.exporter_step_seconds = {1e-4, 2e-4, 3e-4, 4e-4};
+  s.importer_step_seconds = {1e-4, 2e-4, 3e-4};
+  s.rep_fanin = fanin;
+  s.rep_shards = shards;
+  return s;
+}
+
+TEST(TreeMutationCatch, DroppedUpwardEntriesAreCaught) {
+  ASSERT_TRUE(kMutationArmed);
+  const CheckedRun run = check_scenario(tree_scenario(2, 1));
+  ASSERT_FALSE(run.ok()) << "a relay dropping every 3rd upward entry passed conformance";
+  // The run cannot even complete: the rep never assembles full collective
+  // aggregates, so the violation is the wedged run itself.
+  EXPECT_FALSE(run.obs.completed);
+}
+
+TEST(TreeMutationCatch, ShardedTreeMutationIsAlsoCaught) {
+  const CheckedRun run = check_scenario(tree_scenario(2, 2));
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(TreeMutationCatch, FlatLayoutIsImmuneToTheTreeMutation) {
+  // Control: with fan-in off there are no sub-reps, so the armed mutation
+  // has nothing to bite — the same workload must conform. This pins the
+  // blast radius of the hook to the tree layer.
+  const CheckedRun run = check_scenario(tree_scenario(0, 1));
+  EXPECT_TRUE(run.ok()) << (run.violations.empty() ? "" : run.violations.front());
+}
+
+}  // namespace
+}  // namespace ccf::modelcheck
