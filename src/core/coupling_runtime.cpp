@@ -235,8 +235,16 @@ void CouplingRuntime::commit() {
 }
 
 void CouplingRuntime::signal_pressure() {
-  if (governor_ == nullptr || !governor_->consume_pressure_edge()) return;
-  const PressureMsg msg{0, static_cast<std::uint8_t>(governor_->under_pressure() ? 1 : 0)};
+  // Process-level pressure is the OR of local memory pressure and the
+  // transport's egress congestion (real backend only); one ProcPressure
+  // edge is sent per change of the combined level. The governor's own
+  // edge bookkeeping is still consumed so its accounting stays exact.
+  const bool governed = governor_ != nullptr && governor_->under_pressure();
+  if (governor_ != nullptr) governor_->consume_pressure_edge();
+  const bool level = governed || ctx_.transport_pressure();
+  if (level == sent_pressure_level_) return;
+  sent_pressure_level_ = level;
+  const PressureMsg msg{0, static_cast<std::uint8_t>(level ? 1 : 0)};
   send_up_all(ctx_, route_, kTagProcPressure, msg.encode());
   ++pressure_signals_;
 }

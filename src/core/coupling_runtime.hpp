@@ -186,6 +186,11 @@ class CouplingRuntime {
   std::unique_ptr<mem::SpillStore> spill_;
   std::uint64_t pressure_signals_ = 0;
   std::uint64_t pressure_notices_ = 0;
+  /// Last process-level pressure state signalled to the rep: the OR of
+  /// the governor's level and the transport's egress congestion. With the
+  /// modeled fabrics transport pressure is constant false, making this
+  /// exactly the governor's signaled level (the pre-transport behavior).
+  bool sent_pressure_level_ = false;
   /// Import connections whose exporter announced BufferPressure.
   std::set<int> pressured_conns_;
 };

@@ -96,8 +96,11 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                  "request_retries", "stale_answers", "bytes_delivered", "bytes_pack_copied",
                  "copies_per_byte", "sends_aliased", "sends_packed", "peak_buffered_bytes",
                  "evictions", "spill_bytes", "restores", "rep_requests", "rep_answers",
-                 "rep_helps", "rep_pressure"});
+                 "rep_helps", "rep_pressure", "transport"});
   for (const auto& prog : system.config().programs()) {
+    // Fabric the program's traffic rode (sim|shm|tcp), repeated on every
+    // one of its rows so the CSV is self-describing per program.
+    const std::string transport = system.transport_kind(prog.name);
     // One control-plane row per program: the rep layer's per-message-class
     // totals (summed across shards). rank -1 marks the row as belonging to
     // the representative, not any worker process.
@@ -107,7 +110,8 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                    std::to_string(rep.requests_forwarded), std::to_string(rep.answers_sent),
                    std::to_string(rep.buddy_helps_sent),
                    std::to_string(rep.pressure_signals + rep.pressure_notices +
-                                  rep.pressure_broadcasts)});
+                                  rep.pressure_broadcasts),
+                   transport});
     for (int r = 0; r < prog.nprocs; ++r) {
       const ProcStats& stats = system.proc_stats(prog.name, r);
       for (const auto& e : stats.exports) {
@@ -125,7 +129,7 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                        std::to_string(e.buffer.peak_bytes),
                        std::to_string(e.buffer.evictions),
                        std::to_string(e.buffer.spill_bytes),
-                       std::to_string(e.buffer.restores), "0", "0", "0", "0"});
+                       std::to_string(e.buffer.restores), "0", "0", "0", "0", transport});
       }
       for (const auto& i : stats.imports) {
         csv.write_row({prog.name, std::to_string(r), "import", i.region, "0", "0", "0", "0",
@@ -133,7 +137,7 @@ void write_run_report_csv(const CoupledSystem& system, const std::string& path) 
                        std::to_string(i.no_matches), "0", "0", "0",
                        std::to_string(stats.ft.request_retries),
                        std::to_string(stats.ft.stale_answers), "0", "0", "0", "0", "0", "0",
-                       "0", "0", "0", "0", "0", "0", "0"});
+                       "0", "0", "0", "0", "0", "0", "0", transport});
       }
     }
   }

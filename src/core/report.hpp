@@ -20,7 +20,9 @@ void print_run_report(const CoupledSystem& system, std::ostream& os);
 ///   stalls,t_ub_seconds,imports,matches,no_matches,...
 /// plus one kind=rep row per program (rank -1) carrying the control
 /// plane's per-message-class totals: rep_requests, rep_answers,
-/// rep_helps, rep_pressure (summed across rep shards).
+/// rep_helps, rep_pressure (summed across rep shards). Every row ends
+/// with a `transport` column naming the fabric the program's traffic
+/// rode: sim (modeled), shm, or tcp (CoupledSystem::transport_kind).
 void write_run_report_csv(const CoupledSystem& system, const std::string& path);
 
 }  // namespace ccf::core

@@ -1,7 +1,9 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "core/result_codec.hpp"
 #include "util/check.hpp"
 
 namespace ccf::core {
@@ -49,11 +51,82 @@ CoupledSystem::CoupledSystem(Config config, runtime::ClusterOptions cluster_opti
       framework_options_(framework_options),
       layout_(config_) {
   config_.validate();
+  runtime::apply_env_overrides(cluster_options_);
+  configure_transport();
   for (const auto& prog : config_.programs()) {
     slots_[prog.name].resize(static_cast<std::size_t>(prog.nprocs));
     rep_results_[prog.name] = RepResult{};
     subrep_results_[prog.name] = SubRepResult{};
   }
+}
+
+void CoupledSystem::configure_transport() {
+  // Forked children cannot share the in-memory fabric; make the selection
+  // visible here so transport_kind() and the maps below agree with what
+  // ProcessCluster will actually run.
+  if (cluster_options_.mode == runtime::ExecutionMode::RealProcesses) {
+    cluster_options_.transport.kind = transport::TransportKind::Real;
+  }
+
+  // Node assignment (docs/DEPLOY.md): CCF_NODES=split puts every program
+  // on its own node; the default ("hosts") maps each distinct config host
+  // string to one node, so the config's deployment section chooses which
+  // pairs ride SHM and which ride TCP.
+  const char* env = std::getenv("CCF_NODES");
+  const std::string nodes = env == nullptr ? "" : env;
+  CCF_REQUIRE(nodes.empty() || nodes == "hosts" || nodes == "split",
+              "CCF_NODES must be 'hosts' or 'split', got '" << nodes << "'");
+  const bool split = nodes == "split";
+
+  std::map<std::string, int> host_node;
+  auto& t = cluster_options_.transport;
+  for (std::size_t i = 0; i < config_.programs().size(); ++i) {
+    const ProgramSpec& prog = config_.programs()[i];
+    int node = 0;
+    if (split) {
+      node = static_cast<int>(i);
+    } else {
+      node = host_node.try_emplace(prog.host, static_cast<int>(host_node.size())).first->second;
+    }
+    program_node_[prog.name] = node;
+
+    const ProgramLayout& pl = layout_.program(prog.name);
+    for (int rank = 0; rank < pl.nprocs; ++rank) {
+      t.node_of.try_emplace(pl.proc(rank), node);
+      t.identity.try_emplace(pl.proc(rank), prog.name + "/" + std::to_string(rank));
+    }
+    for (int s = 0; s < pl.shards; ++s) {
+      t.node_of.try_emplace(pl.shard_id(s), node);
+      t.identity.try_emplace(pl.shard_id(s), prog.name + "/rep" + std::to_string(s));
+    }
+    for (std::size_t tn = 0; tn < pl.tree.size(); ++tn) {
+      const ProcId id = pl.subrep(static_cast<int>(tn));
+      t.node_of.try_emplace(id, node);
+      t.identity.try_emplace(id, prog.name + "/sub" + std::to_string(tn));
+    }
+  }
+}
+
+std::string CoupledSystem::transport_kind(const std::string& program) const {
+  CCF_REQUIRE(config_.has_program(program), "unknown program '" << program << "'");
+  const bool modeled =
+      cluster_options_.mode == runtime::ExecutionMode::VirtualTime ||
+      cluster_options_.transport.kind == transport::TransportKind::InMemory;
+  if (modeled) return "sim";
+  const int node = program_node_.at(program);
+  for (int c : config_.connections_of_exporter_program(program)) {
+    if (program_node_.at(config_.connections()[static_cast<std::size_t>(c)].importer_program) !=
+        node) {
+      return "tcp";
+    }
+  }
+  for (int c : config_.connections_of_importer_program(program)) {
+    if (program_node_.at(config_.connections()[static_cast<std::size_t>(c)].exporter_program) !=
+        node) {
+      return "tcp";
+    }
+  }
+  return "shm";
 }
 
 void CoupledSystem::set_program_body(const std::string& program, ProgramBody body) {
@@ -76,40 +149,59 @@ void CoupledSystem::run() {
       const std::string name = prog.name;
       ProcSlot* slot = &slots_[name][static_cast<std::size_t>(rank)];
       ProgramBody* body = &bodies_[name];
-      cluster->add_process(pl.proc(rank), [this, name, rank, slot,
-                                           body](runtime::ProcessContext& ctx) {
-        CouplingRuntime rt(ctx, config_, layout_, name, rank, framework_options_);
-        (*body)(rt, ctx);
-        slot->stats = rt.stats_snapshot();
-        for (const auto& stats : slot->stats.exports) {
-          slot->traces[stats.region] = rt.trace_listing(stats.region);
-          slot->events[stats.region] = rt.trace_events(stats.region);
-        }
-      });
+      cluster->add_process(
+          pl.proc(rank),
+          [this, name, rank, slot, body](runtime::ProcessContext& ctx) {
+            CouplingRuntime rt(ctx, config_, layout_, name, rank, framework_options_);
+            (*body)(rt, ctx);
+            slot->stats = rt.stats_snapshot();
+            for (const auto& stats : slot->stats.exports) {
+              slot->traces[stats.region] = rt.trace_listing(stats.region);
+              slot->events[stats.region] = rt.trace_events(stats.region);
+            }
+          },
+          runtime::ResultChannel{
+              [slot] { return encode_proc_result(slot->stats, slot->traces, slot->events); },
+              [slot](const std::vector<std::byte>& bytes) {
+                decode_proc_result(bytes, slot->stats, slot->traces, slot->events);
+              }});
     }
     const std::string name = prog.name;
     auto& shard_slots = rep_shard_results_[name];
     shard_slots.resize(static_cast<std::size_t>(pl.shards));
     for (int s = 0; s < pl.shards; ++s) {
       RepResult* shard_slot = &shard_slots[static_cast<std::size_t>(s)];
-      cluster->add_process(pl.shard_id(s),
-                           [this, name, s, shard_slot](runtime::ProcessContext& ctx) {
-        *shard_slot = run_rep(ctx, config_, layout_, name, framework_options_, s);
-      });
+      cluster->add_process(
+          pl.shard_id(s),
+          [this, name, s, shard_slot](runtime::ProcessContext& ctx) {
+            *shard_slot = run_rep(ctx, config_, layout_, name, framework_options_, s);
+          },
+          runtime::ResultChannel{
+              [shard_slot] { return encode_rep_result(*shard_slot); },
+              [shard_slot](const std::vector<std::byte>& bytes) {
+                *shard_slot = decode_rep_result(bytes);
+              }});
     }
     auto& node_slots = subrep_node_results_[name];
     node_slots.resize(pl.tree.size());
     for (std::size_t node = 0; node < pl.tree.size(); ++node) {
       SubRepResult* node_slot = &node_slots[node];
-      cluster->add_process(pl.subrep(static_cast<int>(node)),
-                           [this, name, node, node_slot](runtime::ProcessContext& ctx) {
-        *node_slot = run_subrep(ctx, config_, layout_, name, static_cast<int>(node),
-                                framework_options_);
-      });
+      cluster->add_process(
+          pl.subrep(static_cast<int>(node)),
+          [this, name, node, node_slot](runtime::ProcessContext& ctx) {
+            *node_slot = run_subrep(ctx, config_, layout_, name, static_cast<int>(node),
+                                    framework_options_);
+          },
+          runtime::ResultChannel{
+              [node_slot] { return encode_subrep_result(*node_slot); },
+              [node_slot](const std::vector<std::byte>& bytes) {
+                *node_slot = decode_subrep_result(bytes);
+              }});
     }
   }
   cluster->run();
   end_time_ = cluster->end_time();
+  transport_counters_ = cluster->transport_counters();
   for (auto& [name, shards] : rep_shard_results_) {
     rep_results_[name] = merge_rep_shards(shards);
   }

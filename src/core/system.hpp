@@ -62,7 +62,23 @@ class CoupledSystem {
   /// (all zero when the program runs without a tree).
   const SubRepResult& subrep_result(const std::string& program) const;
 
+  /// Message fabric a program's traffic rides under the selected cluster
+  /// options: "sim" for the modeled fabrics (VirtualTime, or RealThreads
+  /// over the in-memory fabric), "tcp" when the real backend is selected
+  /// and any of the program's connections crosses nodes, "shm" otherwise.
+  /// Feeds the report CSV's `transport` column.
+  std::string transport_kind(const std::string& program) const;
+
+  /// Structural transport counters of the run (all zero for backends that
+  /// do not track them; valid after run()).
+  const transport::TransportCounters& transport_counters() const { return transport_counters_; }
+
  private:
+  /// Applies CCF_NODES and derives the per-program node assignment plus
+  /// the transport's node/identity maps (entries already present in
+  /// cluster_options_.transport are kept).
+  void configure_transport();
+
   struct ProcSlot {
     ProcStats stats;
     std::map<std::string, std::string> traces;  ///< region -> listing
@@ -79,6 +95,8 @@ class CoupledSystem {
   std::map<std::string, std::vector<SubRepResult>> subrep_node_results_; ///< raw, per node
   std::map<std::string, RepResult> rep_results_;
   std::map<std::string, SubRepResult> subrep_results_;
+  std::map<std::string, int> program_node_;  ///< deployment node per program
+  transport::TransportCounters transport_counters_;
   double end_time_ = 0;
   bool ran_ = false;
 };

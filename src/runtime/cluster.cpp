@@ -1,5 +1,9 @@
 #include "runtime/cluster.hpp"
 
+#include <cstdlib>
+#include <string>
+
+#include "runtime/process_cluster.hpp"
 #include "runtime/thread_cluster.hpp"
 #include "runtime/virtual_time_cluster.hpp"
 #include "util/check.hpp"
@@ -12,8 +16,37 @@ std::unique_ptr<Cluster> make_cluster(const ClusterOptions& options) {
       return std::make_unique<ThreadCluster>(options);
     case ExecutionMode::VirtualTime:
       return std::make_unique<VirtualTimeCluster>(options);
+    case ExecutionMode::RealProcesses:
+      return std::make_unique<ProcessCluster>(options);
   }
   throw util::InvalidArgument("unknown execution mode");
+}
+
+bool apply_env_overrides(ClusterOptions& options) {
+  bool changed = false;
+  if (const char* mode = std::getenv("CCF_MODE"); mode != nullptr && *mode != '\0') {
+    const std::string m = mode;
+    if (m == "sim")
+      options.mode = ExecutionMode::VirtualTime;
+    else if (m == "threads")
+      options.mode = ExecutionMode::RealThreads;
+    else if (m == "procs")
+      options.mode = ExecutionMode::RealProcesses;
+    else
+      throw util::InvalidArgument("CCF_MODE must be sim|threads|procs, got '" + m + "'");
+    changed = true;
+  }
+  if (const char* t = std::getenv("CCF_TRANSPORT"); t != nullptr && *t != '\0') {
+    const std::string v = t;
+    if (v == "fabric")
+      options.transport.kind = transport::TransportKind::InMemory;
+    else if (v == "real")
+      options.transport.kind = transport::TransportKind::Real;
+    else
+      throw util::InvalidArgument("CCF_TRANSPORT must be fabric|real, got '" + v + "'");
+    changed = true;
+  }
+  return changed;
 }
 
 }  // namespace ccf::runtime

@@ -1,0 +1,52 @@
+// Multi-process execution backend: one forked OS process per simulated
+// process over the real SHM+TCP transport.
+//
+// The launcher builds the RealTransport first (shared rings, doorbells,
+// TCP listeners, rendezvous file), then forks one child per registered
+// body. Children attach their endpoint, run the body against a wall-clock
+// context identical to ThreadCluster's, and ship their results back over
+// a per-child pipe using the registration's ResultChannel (bodies are
+// closures writing into launcher-side slots; under fork those writes land
+// in copy-on-write memory, so the child re-encodes them explicitly).
+//
+// Failure handling: the first child that reports an error triggers a
+// transport shutdown through the shared mapping (closed flag + doorbells),
+// which closes every sibling's mailbox and lets them unwind as on the
+// thread backend; the launcher then rethrows the first error.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "transport/transport.hpp"
+
+namespace ccf::runtime {
+
+class ProcessCluster final : public Cluster {
+ public:
+  explicit ProcessCluster(ClusterOptions options);
+
+  void add_process(ProcId id, ProcessBody body) override;
+  void add_process(ProcId id, ProcessBody body, ResultChannel channel) override;
+  void run() override;
+  double end_time() const override { return end_time_; }
+  transport::TransportCounters transport_counters() const override;
+
+ private:
+  struct Registration {
+    ProcId id;
+    ProcessBody body;
+    ResultChannel channel;  ///< encode/decode may both be null
+  };
+
+  ClusterOptions options_;
+  std::set<ProcId> ids_;
+  std::vector<Registration> registrations_;
+  std::shared_ptr<transport::Transport> transport_;  ///< built by run(), pre-fork
+  double end_time_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace ccf::runtime

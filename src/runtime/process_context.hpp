@@ -66,6 +66,13 @@ class ProcessContext {
 
   /// Cost model used by copy()/charge_copy_cost().
   virtual const CopyCostModel& copy_cost_model() const = 0;
+
+  /// Advisory: true while the transport's egress for this process is
+  /// congested (real backend only — TCP write queue over its high
+  /// watermark or an SHM ring persistently full). The coupling runtime
+  /// folds this into the collective BufferPressure protocol exactly like
+  /// local memory pressure. Always false on modeled fabrics.
+  virtual bool transport_pressure() const { return false; }
 };
 
 using ProcessBody = std::function<void(ProcessContext&)>;

@@ -4,7 +4,9 @@
 #include <cstring>
 #include <exception>
 #include <thread>
+#include <utility>
 
+#include "transport/fault_transport.hpp"
 #include "util/check.hpp"
 #include "util/work.hpp"
 
@@ -16,11 +18,9 @@ using clock = std::chrono::steady_clock;
 
 class ThreadContext final : public ProcessContext {
  public:
-  ThreadContext(ProcId id, transport::Network& network,
-                std::shared_ptr<transport::Mailbox> mailbox, clock::time_point epoch,
-                const CopyCostModel& copy_cost)
-      : id_(id), network_(network), mailbox_(std::move(mailbox)), epoch_(epoch),
-        copy_cost_(copy_cost) {}
+  ThreadContext(ProcId id, std::shared_ptr<transport::Endpoint> endpoint,
+                clock::time_point epoch, const CopyCostModel& copy_cost)
+      : id_(id), endpoint_(std::move(endpoint)), epoch_(epoch), copy_cost_(copy_cost) {}
 
   ProcId id() const override { return id_; }
 
@@ -30,21 +30,21 @@ class ThreadContext final : public ProcessContext {
     m.dst = dst;
     m.tag = tag;
     m.payload = payload ? std::move(payload) : transport::empty_payload();
-    network_.send(std::move(m));
+    endpoint_->send(std::move(m));
   }
 
-  Message recv(const MatchSpec& spec) override { return mailbox_->receive(spec); }
+  Message recv(const MatchSpec& spec) override { return endpoint_->inbox().receive(spec); }
 
   std::optional<Message> try_recv(const MatchSpec& spec) override {
-    return mailbox_->try_receive(spec);
+    return endpoint_->inbox().try_receive(spec);
   }
 
-  bool probe(const MatchSpec& spec) override { return mailbox_->probe(spec); }
+  bool probe(const MatchSpec& spec) override { return endpoint_->inbox().probe(spec); }
 
   std::optional<Message> recv_until(const MatchSpec& spec, double deadline) override {
     const auto abs_deadline =
         epoch_ + std::chrono::duration_cast<clock::duration>(std::chrono::duration<double>(deadline));
-    return mailbox_->receive_until(spec, abs_deadline);
+    return endpoint_->inbox().receive_until(spec, abs_deadline);
   }
 
   double now() const override {
@@ -63,24 +63,24 @@ class ThreadContext final : public ProcessContext {
 
   const CopyCostModel& copy_cost_model() const override { return copy_cost_; }
 
+  bool transport_pressure() const override { return endpoint_->under_pressure(); }
+
  private:
   ProcId id_;
-  transport::Network& network_;
-  std::shared_ptr<transport::Mailbox> mailbox_;
+  std::shared_ptr<transport::Endpoint> endpoint_;
   clock::time_point epoch_;
   const CopyCostModel& copy_cost_;
 };
 
 }  // namespace
 
-ThreadCluster::ThreadCluster(ClusterOptions options) : options_(std::move(options)) {
-  network_.set_fault_injector(options_.faults);
-}
+ThreadCluster::ThreadCluster(ClusterOptions options) : options_(std::move(options)) {}
 
 void ThreadCluster::add_process(ProcId id, ProcessBody body) {
   CCF_REQUIRE(!ran_, "cannot add processes after run()");
   CCF_REQUIRE(body != nullptr, "process body must be callable");
-  network_.register_process(id);  // validates uniqueness
+  CCF_REQUIRE(id >= 0, "process id must be non-negative, got " << id);
+  CCF_REQUIRE(ids_.insert(id).second, "process id " << id << " already registered");
   registrations_.push_back({id, std::move(body)});
 }
 
@@ -89,6 +89,15 @@ void ThreadCluster::run() {
   CCF_REQUIRE(!registrations_.empty(), "no processes registered");
   ran_ = true;
 
+  // The transport is built at run() so the membership is complete, and
+  // kept on the cluster so counters survive the run. Faults compose as a
+  // decorator over whichever backend was selected.
+  transport_ = transport::make_transport(options_.transport,
+                                         std::vector<ProcId>(ids_.begin(), ids_.end()));
+  std::shared_ptr<transport::Transport> fabric = transport_;
+  if (options_.faults != nullptr)
+    fabric = std::make_shared<transport::FaultTransport>(fabric, options_.faults);
+
   const auto epoch = clock::now();
   std::mutex error_mutex;
   std::exception_ptr first_error;
@@ -96,17 +105,16 @@ void ThreadCluster::run() {
   std::vector<std::thread> threads;
   threads.reserve(registrations_.size());
   for (auto& reg : registrations_) {
-    threads.emplace_back([&, this] {
-      ThreadContext ctx(reg.id, network_, network_.mailbox(reg.id), epoch,
-                        options_.copy_cost);
+    threads.emplace_back([&, this, fabric] {
       try {
+        ThreadContext ctx(reg.id, fabric->attach(reg.id), epoch, options_.copy_cost);
         reg.body(ctx);
       } catch (const transport::MailboxClosed&) {
         // Teardown path after another process failed; keep the first error.
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
-        network_.shutdown();  // unblock peers waiting in recv()
+        fabric->shutdown();  // unblock peers waiting in recv()
       }
     });
   }
@@ -114,6 +122,10 @@ void ThreadCluster::run() {
   end_time_ = std::chrono::duration<double>(clock::now() - epoch).count();
 
   if (first_error) std::rethrow_exception(first_error);
+}
+
+transport::TransportCounters ThreadCluster::transport_counters() const {
+  return transport_ == nullptr ? transport::TransportCounters{} : transport_->counters();
 }
 
 }  // namespace ccf::runtime

@@ -1,14 +1,16 @@
 // Real-thread execution backend: one OS thread per simulated process over
-// the in-memory Network, with wall-clock timing and real memcpys.
+// a Transport (the in-memory fabric by default, or the real SHM+TCP
+// backend), with wall-clock timing and real memcpys.
 #pragma once
 
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "runtime/cluster.hpp"
-#include "transport/network.hpp"
+#include "transport/transport.hpp"
 
 namespace ccf::runtime {
 
@@ -19,6 +21,7 @@ class ThreadCluster final : public Cluster {
   void add_process(ProcId id, ProcessBody body) override;
   void run() override;
   double end_time() const override { return end_time_; }
+  transport::TransportCounters transport_counters() const override;
 
  private:
   struct Registration {
@@ -27,8 +30,9 @@ class ThreadCluster final : public Cluster {
   };
 
   ClusterOptions options_;
-  transport::Network network_;
+  std::set<ProcId> ids_;
   std::vector<Registration> registrations_;
+  std::shared_ptr<transport::Transport> transport_;  ///< built by run()
   double end_time_ = 0.0;
   bool ran_ = false;
 };

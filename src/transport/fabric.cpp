@@ -1,0 +1,43 @@
+#include "transport/fabric.hpp"
+
+namespace ccf::transport {
+
+namespace {
+
+class FabricEndpoint final : public Endpoint {
+ public:
+  FabricEndpoint(ProcId id, Network& network, std::shared_ptr<Mailbox> box)
+      : id_(id), network_(network), box_(std::move(box)) {}
+
+  ProcId id() const override { return id_; }
+  void send(Message m) override { network_.send(std::move(m)); }
+  Mailbox& inbox() override { return *box_; }
+
+ private:
+  ProcId id_;
+  Network& network_;
+  std::shared_ptr<Mailbox> box_;
+};
+
+}  // namespace
+
+FabricTransport::FabricTransport(const std::vector<ProcId>& members) {
+  for (ProcId id : members) network_.register_process(id);
+}
+
+std::shared_ptr<Endpoint> FabricTransport::attach(ProcId id) {
+  return std::make_shared<FabricEndpoint>(id, network_, network_.mailbox(id));
+}
+
+void FabricTransport::shutdown() { network_.shutdown(); }
+
+TransportCounters FabricTransport::counters() const {
+  const NetworkStats s = network_.stats();
+  TransportCounters c;
+  c.frames_sent = s.messages_sent;
+  c.frames_received = s.messages_sent - s.closed_box_drops;
+  c.bytes_framed = s.bytes_sent;
+  return c;
+}
+
+}  // namespace ccf::transport

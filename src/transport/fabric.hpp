@@ -1,0 +1,33 @@
+// In-memory Transport backend: the lossless fabric, as a Transport.
+//
+// Wraps the existing Network (one Mailbox per member, immediate ordered
+// delivery) behind the Transport/Endpoint seam so the real-thread runtime
+// can swap it for the real SHM+TCP backend without touching the protocol
+// layer. Behavior is byte-for-byte the pre-seam Network: same seq
+// stamping, same closed-box drop accounting, same shutdown semantics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "transport/network.hpp"
+#include "transport/transport.hpp"
+
+namespace ccf::transport {
+
+class FabricTransport final : public Transport {
+ public:
+  explicit FabricTransport(const std::vector<ProcId>& members);
+
+  std::shared_ptr<Endpoint> attach(ProcId id) override;
+  void shutdown() override;
+  TransportCounters counters() const override;
+
+  /// The underlying fabric (tests and stats probes).
+  Network& network() { return network_; }
+
+ private:
+  Network network_;
+};
+
+}  // namespace ccf::transport

@@ -1,0 +1,64 @@
+// FaultTransport: seeded fault injection as a decorator over ANY backend.
+//
+// Historically fault injection lived inside the in-memory Network; that
+// made it a special case of one backend and left the real SHM+TCP path
+// untestable under chaos. FaultTransport lifts the exact same semantics
+// to the Transport seam:
+//
+//   * drop       — the message never reaches the inner transport
+//   * duplicate  — delivered twice (both aliasing one payload buffer)
+//   * delay      — held back until the next message to the same
+//                  destination (the decorator has no clock, so a delay
+//                  manifests as a reordering), flushed at shutdown
+//
+// Decisions come from the same seeded FaultInjector, keyed by the
+// per-link message index, so a chaos schedule replays identically whether
+// the inner transport is the lossless fabric or a live SHM+TCP cluster.
+// In multi-process deployments each process wraps its own endpoint; the
+// per-link decision streams are disjoint across senders, so a shared seed
+// still yields one deterministic schedule.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "transport/fault.hpp"
+#include "transport/transport.hpp"
+
+namespace ccf::transport {
+
+class FaultTransport final : public Transport {
+ public:
+  FaultTransport(std::shared_ptr<Transport> inner, std::shared_ptr<FaultInjector> injector);
+
+  std::shared_ptr<Endpoint> attach(ProcId id) override;
+
+  /// Flushes held-back (delayed) messages, then shuts down the inner
+  /// transport — nothing is lost silently, matching the fabric.
+  void shutdown() override;
+
+  TransportCounters counters() const override { return inner_->counters(); }
+
+  const FaultInjector& injector() const { return *injector_; }
+
+ private:
+  friend class FaultEndpoint;
+
+  /// One held-back message per destination, released after the next send
+  /// to that destination; the sending endpoint is kept so the flush rides
+  /// the same inner path as the original send.
+  struct Held {
+    std::shared_ptr<Endpoint> via;
+    Message message;
+  };
+
+  std::shared_ptr<Transport> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+  std::mutex mutex_;
+  std::unordered_map<ProcId, Held> held_;
+  bool shut_down_ = false;
+};
+
+}  // namespace ccf::transport

@@ -28,6 +28,19 @@ std::shared_ptr<const LatencyModel> gige_model() {
   return model;
 }
 
+// LogP-style fits of the one-way frame cost measured by
+// bench_transport_cal over payloads 64 B .. 512 KiB (see
+// BENCH_transport.json for the run the constants come from).
+std::shared_ptr<const LatencyModel> shm_calibrated_model() {
+  static const auto model = std::make_shared<const BandwidthLatency>(4.8e-6, 7.7e9);
+  return model;
+}
+
+std::shared_ptr<const LatencyModel> tcp_calibrated_model() {
+  static const auto model = std::make_shared<const BandwidthLatency>(9.0e-6, 2.7e9);
+  return model;
+}
+
 std::shared_ptr<const LatencyModel> zero_model() {
   static const auto model = std::make_shared<const ZeroLatency>();
   return model;

@@ -56,6 +56,14 @@ class BandwidthLatency final : public LatencyModel {
 /// Gigabit-Ethernet-class preset: 50 us latency, ~110 MB/s effective.
 std::shared_ptr<const LatencyModel> gige_model();
 
+/// Presets calibrated against the real deployment transport on this class
+/// of machine (bench/bench_transport_cal.cpp; constants recorded in
+/// BENCH_transport.json). They let virtual-time runs charge delays
+/// representative of what the SHM-ring / loopback-TCP paths actually cost
+/// instead of the paper-era GigE numbers.
+std::shared_ptr<const LatencyModel> shm_calibrated_model();
+std::shared_ptr<const LatencyModel> tcp_calibrated_model();
+
 /// Shared zero-latency singleton.
 std::shared_ptr<const LatencyModel> zero_model();
 

@@ -1,0 +1,120 @@
+#include "transport/real/shm_ring.hpp"
+
+#include <cstring>
+
+namespace ccf::transport::real {
+
+namespace {
+
+inline std::size_t align8(std::size_t n) { return (n + 7u) & ~std::size_t{7}; }
+
+}  // namespace
+
+bool ShmRing::try_push(const std::byte* const* spans, const std::size_t* span_bytes,
+                       std::size_t span_count) {
+  std::size_t len = 0;
+  for (std::size_t i = 0; i < span_count; ++i) len += span_bytes[i];
+  const std::size_t cap = capacity();
+  const std::size_t need = kRecordHeaderBytes + align8(len);
+  CCF_REQUIRE(need <= cap,
+              "SHM record of " << len << " bytes can never fit a " << cap
+                               << "-byte ring; raise TransportOptions::shm_ring_bytes");
+
+  // head is producer-owned: relaxed read, release publish.
+  const std::uint64_t head = header_->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = header_->tail.load(std::memory_order_acquire);
+  const std::size_t offset = static_cast<std::size_t>(head % cap);
+  const std::size_t to_end = cap - offset;
+
+  // Records never wrap: either pad to the ring start (publishing a wrap
+  // marker when there is room for one) or place the record here.
+  std::size_t pad = 0;
+  bool marker = false;
+  if (to_end < kRecordHeaderBytes) {
+    pad = to_end;  // too small even for a marker; consumer skips implicitly
+  } else if (need > to_end) {
+    pad = to_end;  // marker record occupies the remainder
+    marker = true;
+  }
+  if (head + pad + need - tail > cap) return false;  // full: caller stalls
+
+  if (marker) {
+    std::byte* rec = data() + offset;
+    std::uint32_t words[2] = {kWrapMarker, kRecordCommit};
+    std::memcpy(rec, words, sizeof words);
+  }
+  const std::size_t rec_offset = pad == 0 ? offset : 0;
+  std::byte* rec = data() + rec_offset;
+  const std::uint32_t len32 = static_cast<std::uint32_t>(len);
+  std::memcpy(rec, &len32, sizeof len32);
+  std::byte* body = rec + kRecordHeaderBytes;
+  for (std::size_t i = 0; i < span_count; ++i) {
+    if (span_bytes[i] != 0) std::memcpy(body, spans[i], span_bytes[i]);
+    body += span_bytes[i];
+  }
+  // Commit word last: a consumer that sees the record (via the head
+  // publish below) is guaranteed a fully written body; anything else is a
+  // torn write and trips the check in RingConsumer::next().
+  const std::uint32_t commit = kRecordCommit;
+  std::memcpy(rec + sizeof(std::uint32_t), &commit, sizeof commit);
+  std::atomic_thread_fence(std::memory_order_release);
+  header_->head.store(head + pad + need, std::memory_order_release);
+  return true;
+}
+
+std::optional<RingConsumer::Record> RingConsumer::next() {
+  const std::size_t cap = ring_.capacity();
+  const std::uint64_t head = ring_.header()->head.load(std::memory_order_acquire);
+  for (;;) {
+    if (scan_ == head) return std::nullopt;
+    CCF_CHECK(scan_ < head, "SHM ring consumer cursor ahead of head");
+    const std::size_t offset = static_cast<std::size_t>(scan_ % cap);
+    const std::size_t to_end = cap - offset;
+    if (to_end < kRecordHeaderBytes) {
+      // Implicit pad: too small for any record; both sides skip it.
+      pending_skip_ += to_end;
+      scan_ += to_end;
+      continue;
+    }
+    const std::byte* rec = ring_.data() + offset;
+    std::uint32_t len32 = 0, commit = 0;
+    std::memcpy(&len32, rec, sizeof len32);
+    std::memcpy(&commit, rec + sizeof len32, sizeof commit);
+    if (commit != kRecordCommit)
+      throw util::ProtocolViolation("torn or corrupt SHM ring record (commit word "
+                                    "mismatch): producer died mid-write?");
+    if (len32 == kWrapMarker) {
+      pending_skip_ += to_end;
+      scan_ += to_end;
+      continue;
+    }
+    const std::size_t len = len32;
+    const std::size_t need = kRecordHeaderBytes + ((len + 7u) & ~std::size_t{7});
+    CCF_CHECK(need <= to_end && scan_ + need <= head,
+              "corrupt SHM ring record length " << len);
+    Record out;
+    out.data = rec + kRecordHeaderBytes;
+    out.size = len;
+    out.begin = scan_ - pending_skip_;
+    out.end = scan_ + need;
+    pending_skip_ = 0;
+    scan_ += need;
+    return out;
+  }
+}
+
+void RingConsumer::release(std::uint64_t begin, std::uint64_t end) {
+  // The tail store stays under the mutex: with concurrent releases an
+  // unlocked store could publish a stale (smaller) tail after a newer
+  // one, making the ring look fuller than it is.
+  std::lock_guard<std::mutex> lock(mutex_);
+  released_.emplace(begin, end);
+  auto it = released_.begin();
+  while (it != released_.end() && it->first == release_floor_) {
+    release_floor_ = it->second;
+    it = released_.erase(it);
+  }
+  ring_.header()->tail.store(release_floor_, std::memory_order_release);
+}
+
+}  // namespace ccf::transport::real

@@ -1,0 +1,150 @@
+// Single-producer single-consumer byte ring over shared memory.
+//
+// One ring per directed same-node process pair. The memory is a
+// MAP_SHARED anonymous mapping created by the transport host *before* the
+// member processes fork, so both sides see the same pages with no
+// filesystem object to leak. Layout:
+//
+//   [RingHeader][capacity data bytes]
+//
+// Records are 8-byte-aligned `[u32 len][u32 commit][len payload bytes]`
+// and never wrap: when a record does not fit before the end of the ring,
+// the producer publishes a wrap marker (len == kWrapMarker) and continues
+// at the start. Cursors are monotonic byte positions (offset = pos %
+// capacity): `head` is advanced by the producer after the record is fully
+// written (release ordering), `tail` by the consumer once a record's
+// bytes are no longer referenced by any PayloadView.
+//
+// Torn-write detection: the commit word is written last (release) and
+// verified on read; a record visible past `head` whose commit word is
+// wrong means a crashed or misbehaving producer, and surfaces as a
+// ProtocolViolation instead of delivering garbage.
+//
+// Zero copy: the consumer parses the wire frame in place and hands out
+// PayloadViews aliasing the ring pages; release order may differ from
+// delivery order (views are refcounted), so released records are folded
+// into `tail` as a contiguous prefix by RingConsumer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace ccf::transport::real {
+
+inline constexpr std::uint32_t kRecordCommit = 0x5A5AC0DEu;
+inline constexpr std::uint32_t kWrapMarker = 0xFFFFFFFFu;
+inline constexpr std::size_t kRecordHeaderBytes = 8;  // u32 len + u32 commit
+
+struct alignas(64) RingHeader {
+  std::atomic<std::uint64_t> head{0};  ///< producer publish cursor
+  char pad0[56];
+  std::atomic<std::uint64_t> tail{0};  ///< consumer release cursor
+  char pad1[56];
+  std::atomic<std::uint32_t> closed{0};
+  std::uint32_t capacity = 0;  ///< data bytes following the header
+};
+static_assert(sizeof(RingHeader) == 192);
+
+/// Non-owning view over one ring's shared memory; cheap to copy. The
+/// producer process calls try_push / close; the consumer reads via
+/// RingConsumer below.
+class ShmRing {
+ public:
+  ShmRing() = default;
+
+  static std::size_t bytes_required(std::size_t capacity) {
+    return sizeof(RingHeader) + capacity;
+  }
+
+  /// Formats `mem` (at least bytes_required(capacity)) as an empty ring.
+  static ShmRing create(void* mem, std::size_t capacity) {
+    CCF_REQUIRE(capacity >= 64 && capacity % 8 == 0,
+                "ring capacity must be a multiple of 8 and >= 64, got " << capacity);
+    auto* h = new (mem) RingHeader();
+    h->capacity = static_cast<std::uint32_t>(capacity);
+    return ShmRing(h);
+  }
+
+  /// Adopts an already-formatted ring (the other side of the mapping).
+  static ShmRing open(void* mem) { return ShmRing(static_cast<RingHeader*>(mem)); }
+
+  std::size_t capacity() const { return header_->capacity; }
+  bool closed() const { return header_->closed.load(std::memory_order_acquire) != 0; }
+  void close() { header_->closed.store(1, std::memory_order_release); }
+
+  /// Bytes currently occupied (records published and not yet released).
+  std::size_t used() const {
+    return static_cast<std::size_t>(header_->head.load(std::memory_order_acquire) -
+                                    header_->tail.load(std::memory_order_acquire));
+  }
+
+  /// Publishes one record gathering `spans` back to back. Returns false
+  /// (without writing anything) when the ring lacks space — the caller
+  /// retries, counting a producer stall. Throws when the record can never
+  /// fit. Producer side only.
+  bool try_push(const std::byte* const* spans, const std::size_t* span_bytes,
+                std::size_t span_count);
+
+  /// Convenience for a two-part record (frame header + payload).
+  bool try_push2(const void* a, std::size_t a_bytes, const void* b, std::size_t b_bytes) {
+    const std::byte* spans[2] = {static_cast<const std::byte*>(a),
+                                 static_cast<const std::byte*>(b)};
+    const std::size_t bytes[2] = {a_bytes, b_bytes};
+    return try_push(spans, bytes, 2);
+  }
+
+  RingHeader* header() { return header_; }
+  std::byte* data() { return reinterpret_cast<std::byte*>(header_ + 1); }
+  const std::byte* data() const { return reinterpret_cast<const std::byte*>(header_ + 1); }
+
+  explicit operator bool() const { return header_ != nullptr; }
+
+ private:
+  explicit ShmRing(RingHeader* h) : header_(h) {}
+
+  RingHeader* header_ = nullptr;
+};
+
+/// Consumer-side cursor and out-of-order release bookkeeping for one
+/// ring. Lives in the consuming process (NOT in shared memory). next()
+/// runs on the endpoint's event loop; release() may run on any thread
+/// that drops the last PayloadView into a record, hence the mutex.
+class RingConsumer {
+ public:
+  RingConsumer() = default;
+  explicit RingConsumer(ShmRing ring) : ring_(ring) {}
+
+  struct Record {
+    const std::byte* data = nullptr;  ///< record payload (the wire frame)
+    std::size_t size = 0;
+    std::uint64_t begin = 0;  ///< release interval [begin, end)
+    std::uint64_t end = 0;
+  };
+
+  /// Next committed record, or nullopt when the ring is drained up to
+  /// `head`. Wrap markers and alignment padding are absorbed silently
+  /// (their bytes are folded into the following record's interval).
+  std::optional<Record> next();
+
+  /// Marks [begin, end) as no longer referenced; advances the shared
+  /// `tail` over the contiguous released prefix. Thread-safe.
+  void release(std::uint64_t begin, std::uint64_t end);
+
+  ShmRing& ring() { return ring_; }
+
+ private:
+  ShmRing ring_;
+  std::uint64_t scan_ = 0;          ///< next unparsed position
+  std::uint64_t pending_skip_ = 0;  ///< pad/marker bytes awaiting the next record
+  std::mutex mutex_;
+  std::uint64_t release_floor_ = 0;
+  std::map<std::uint64_t, std::uint64_t> released_;  ///< begin -> end, out of order
+};
+
+}  // namespace ccf::transport::real

@@ -1,0 +1,235 @@
+// Wire framing for the real transport (docs/PROTOCOL.md, "Wire transport").
+//
+// Both real paths — SHM rings and TCP streams — carry the same
+// self-contained frame: a fixed 40-byte header followed by the payload
+// bytes, exactly as the Message's PayloadView holds them. Because the
+// data plane's wire frames are already self-contained buffers, a frame
+// can be mapped (SHM) or copied (TCP) without any re-framing, and the
+// receive side hands out PayloadViews into the frame in place.
+//
+// The decode path treats its input as hostile (a TCP peer can send
+// anything): magic/version are verified, the length prefix is validated
+// against an explicit cap BEFORE any allocation, and arithmetic that
+// could wrap (length near 2^64) is checked in a widened/underflow-safe
+// form. Malformed input surfaces as FramingError, never UB — regression
+// tests run the decoder under ASan/UBSan on truncated, oversized and
+// corrupt inputs (tests/transport/wire_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "transport/message.hpp"
+#include "util/check.hpp"
+
+namespace ccf::transport::real {
+
+/// Malformed or hostile wire input (bad magic, oversized length prefix,
+/// truncated frame, corrupt handshake).
+class FramingError : public util::Error {
+ public:
+  explicit FramingError(const std::string& what) : Error(what) {}
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0xCCF7F00Du;
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Fixed-size frame header; all fields little-endian host order (the
+/// transport never crosses byte orders on one machine; a heterogeneous
+/// deployment would bump kWireVersion).
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint16_t version = kWireVersion;
+  std::uint16_t flags = 0;
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  std::int32_t tag = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t payload_bytes = 0;
+};
+static_assert(sizeof(FrameHeader) == 40, "wire frame header is 40 bytes");
+static_assert(std::is_trivially_copyable_v<FrameHeader>);
+
+inline constexpr std::size_t kFrameHeaderBytes = sizeof(FrameHeader);
+
+/// Total wire size of a frame carrying `payload_bytes` of payload.
+inline std::size_t frame_bytes(std::size_t payload_bytes) {
+  return kFrameHeaderBytes + payload_bytes;
+}
+
+inline FrameHeader make_frame_header(const Message& m) {
+  FrameHeader h;
+  h.src = m.src;
+  h.dst = m.dst;
+  h.tag = m.tag;
+  h.seq = m.seq;
+  h.payload_bytes = m.payload.size();
+  return h;
+}
+
+/// Validates a decoded header against the hostile-input guards.
+/// `max_payload` caps the length prefix; a frame for another destination
+/// (or from an unknown source) is rejected by the caller, which knows the
+/// membership.
+inline void validate_frame_header(const FrameHeader& h, std::size_t max_payload) {
+  if (h.magic != kFrameMagic)
+    throw FramingError("wire frame rejected: bad magic");
+  if (h.version != kWireVersion)
+    throw FramingError("wire frame rejected: unsupported version " +
+                       std::to_string(h.version));
+  // The length prefix is attacker-controlled: compare as u64 against the
+  // cap before narrowing or allocating, so a prefix like 2^63 can neither
+  // wrap size arithmetic nor trigger a huge allocation.
+  if (h.payload_bytes > max_payload)
+    throw FramingError("wire frame rejected: length prefix " +
+                       std::to_string(h.payload_bytes) + " exceeds cap " +
+                       std::to_string(max_payload));
+}
+
+/// Reads a header out of a raw byte span (which must hold at least
+/// kFrameHeaderBytes).
+inline FrameHeader read_frame_header(const std::byte* data) {
+  FrameHeader h;
+  std::memcpy(&h, data, sizeof h);
+  return h;
+}
+
+/// Incremental length-prefixed frame decoder for the TCP byte stream.
+/// feed() appends raw received bytes; next() yields complete messages one
+/// at a time and throws FramingError on malformed input. The connection
+/// owner drops the peer on the first error — after hostile bytes there is
+/// no trustworthy framing left to resynchronize on.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload_bytes)
+      : max_payload_(max_payload_bytes) {}
+
+  void feed(const std::byte* data, std::size_t n) {
+    buffer_.insert(buffer_.end(), data, data + n);
+  }
+
+  /// Complete frames currently decodable. Returns false when more bytes
+  /// are needed (a truncated buffer is simply "not yet complete"; a
+  /// stream that *ends* mid-frame is the caller's FramingError).
+  bool next(Message& out) {
+    if (buffer_.size() - cursor_ < kFrameHeaderBytes) {
+      compact();
+      return false;
+    }
+    const FrameHeader h = read_frame_header(buffer_.data() + cursor_);
+    validate_frame_header(h, max_payload_);
+    const std::size_t need = static_cast<std::size_t>(h.payload_bytes);
+    if (buffer_.size() - cursor_ - kFrameHeaderBytes < need) {
+      compact();
+      return false;
+    }
+    out.src = h.src;
+    out.dst = h.dst;
+    out.tag = h.tag;
+    out.seq = h.seq;
+    std::vector<std::byte> payload(buffer_.begin() +
+                                       static_cast<std::ptrdiff_t>(cursor_ + kFrameHeaderBytes),
+                                   buffer_.begin() +
+                                       static_cast<std::ptrdiff_t>(cursor_ + kFrameHeaderBytes +
+                                                                   need));
+    out.payload = make_payload(std::move(payload));
+    cursor_ += kFrameHeaderBytes + need;
+    return true;
+  }
+
+  /// Bytes buffered but not yet consumed (a nonzero value at EOF means
+  /// the stream died mid-frame).
+  std::size_t pending() const { return buffer_.size() - cursor_; }
+
+ private:
+  void compact() {
+    if (cursor_ == 0) return;
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+    cursor_ = 0;
+  }
+
+  std::size_t max_payload_;
+  std::vector<std::byte> buffer_;
+  std::size_t cursor_ = 0;
+};
+
+// -- Connection handshake ---------------------------------------------------
+//
+// The first bytes on a TCP connection, before any frame:
+//   connector: HELLO   { magic, version, src proc, dst proc, identity }
+//   acceptor:  WELCOME { magic, version, src proc, dst proc, identity }
+// `identity` is the human-readable "(program, rank, shard)" string from
+// TransportOptions::identity; the receiving side verifies both the proc
+// id (it must be a cluster member on the expected node) and, when it has
+// an expectation for that id, the announced identity. A mismatch closes
+// the connection before any frame is accepted.
+
+inline constexpr std::uint32_t kHelloMagic = 0xCCF7E110u;
+inline constexpr std::uint32_t kWelcomeMagic = 0xCCF7E111u;
+inline constexpr std::size_t kMaxIdentityBytes = 256;
+
+struct Handshake {
+  std::uint32_t magic = kHelloMagic;
+  std::int32_t src = 0;  ///< sender's proc id
+  std::int32_t dst = 0;  ///< who the sender believes it is talking to
+  std::string identity;
+};
+
+/// Fixed prelude of an encoded handshake; the identity bytes follow.
+struct HandshakePrelude {
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint16_t identity_bytes = 0;
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+};
+static_assert(sizeof(HandshakePrelude) == 16);
+
+inline std::vector<std::byte> encode_handshake(const Handshake& h) {
+  CCF_CHECK(h.identity.size() <= kMaxIdentityBytes,
+            "handshake identity too long: " << h.identity.size());
+  HandshakePrelude p;
+  p.magic = h.magic;
+  p.version = kWireVersion;
+  p.identity_bytes = static_cast<std::uint16_t>(h.identity.size());
+  p.src = h.src;
+  p.dst = h.dst;
+  std::vector<std::byte> out(sizeof p + h.identity.size());
+  std::memcpy(out.data(), &p, sizeof p);
+  std::memcpy(out.data() + sizeof p, h.identity.data(), h.identity.size());
+  return out;
+}
+
+/// Incremental handshake decoder; same hostile-input posture as
+/// FrameDecoder. Returns false until enough bytes arrived; `consumed`
+/// reports how many of the fed bytes belong to the handshake (the rest
+/// are the first frames).
+inline bool decode_handshake(const std::byte* data, std::size_t n,
+                             std::uint32_t expected_magic, Handshake& out,
+                             std::size_t& consumed) {
+  if (n < sizeof(HandshakePrelude)) return false;
+  HandshakePrelude p;
+  std::memcpy(&p, data, sizeof p);
+  if (p.magic != expected_magic) throw FramingError("handshake rejected: bad magic");
+  if (p.version != kWireVersion)
+    throw FramingError("handshake rejected: unsupported version " +
+                       std::to_string(p.version));
+  if (p.identity_bytes > kMaxIdentityBytes)
+    throw FramingError("handshake rejected: identity length " +
+                       std::to_string(p.identity_bytes) + " exceeds cap " +
+                       std::to_string(kMaxIdentityBytes));
+  if (n - sizeof p < p.identity_bytes) return false;
+  out.magic = p.magic;
+  out.src = p.src;
+  out.dst = p.dst;
+  out.identity.assign(reinterpret_cast<const char*>(data + sizeof p), p.identity_bytes);
+  consumed = sizeof p + p.identity_bytes;
+  return true;
+}
+
+}  // namespace ccf::transport::real

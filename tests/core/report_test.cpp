@@ -75,7 +75,7 @@ TEST(RunReport, CsvHasHeaderAndOneRowPerProcRegion) {
   // row) for I.
   ASSERT_EQ(lines.size(), 6u);
   EXPECT_NE(lines[0].find("program,rank,kind,region"), std::string::npos);
-  EXPECT_NE(lines[0].find("rep_requests,rep_answers,rep_helps,rep_pressure"),
+  EXPECT_NE(lines[0].find("rep_requests,rep_answers,rep_helps,rep_pressure,transport"),
             std::string::npos);
   EXPECT_NE(lines[1].find("E,-1,rep,-"), std::string::npos);
   EXPECT_NE(lines[2].find("E,0,export,field"), std::string::npos);
@@ -104,14 +104,16 @@ TEST(RunReport, CsvRepRowMatchesRepResult) {
   std::stringstream row(lines[1]);
   std::string field;
   while (std::getline(row, field, ',')) fields.push_back(field);
-  ASSERT_GE(fields.size(), 4u);
-  // The row's last four fields are the message-class columns, in order.
-  EXPECT_EQ(fields[fields.size() - 4], std::to_string(rep.requests_forwarded));
-  EXPECT_EQ(fields[fields.size() - 3], std::to_string(rep.answers_sent));
-  EXPECT_EQ(fields[fields.size() - 2], std::to_string(rep.buddy_helps_sent));
-  EXPECT_EQ(fields[fields.size() - 1],
+  ASSERT_GE(fields.size(), 5u);
+  // The row ends with the four message-class columns and then the
+  // transport column ("sim" for the default simulated fabric).
+  EXPECT_EQ(fields[fields.size() - 5], std::to_string(rep.requests_forwarded));
+  EXPECT_EQ(fields[fields.size() - 4], std::to_string(rep.answers_sent));
+  EXPECT_EQ(fields[fields.size() - 3], std::to_string(rep.buddy_helps_sent));
+  EXPECT_EQ(fields[fields.size() - 2],
             std::to_string(rep.pressure_signals + rep.pressure_notices +
                            rep.pressure_broadcasts));
+  EXPECT_EQ(fields[fields.size() - 1], "sim");
   std::remove(path.c_str());
 }
 
@@ -156,17 +158,19 @@ TEST(RunReport, CsvGovernanceFieldsMatchStatsOnGovernedRun) {
     EXPECT_GT(buf.spill_bytes, 0u);
     EXPECT_LE(buf.peak_bytes, options.memory.budget_bytes);
     // The governance columns sit just before the four rep message-class
-    // columns (zero on worker rows), in order. lines[1] is E's rep row.
+    // columns (zero on worker rows) and the trailing transport column, in
+    // order. lines[1] is E's rep row.
     std::vector<std::string> fields;
     std::stringstream row(lines[static_cast<std::size_t>(2 + r)]);
     std::string field;
     while (std::getline(row, field, ',')) fields.push_back(field);
-    ASSERT_GE(fields.size(), 8u);
-    EXPECT_EQ(fields[fields.size() - 8], std::to_string(buf.peak_bytes));
-    EXPECT_EQ(fields[fields.size() - 7], std::to_string(buf.evictions));
-    EXPECT_EQ(fields[fields.size() - 6], std::to_string(buf.spill_bytes));
-    EXPECT_EQ(fields[fields.size() - 5], std::to_string(buf.restores));
-    EXPECT_EQ(fields[fields.size() - 4], "0");
+    ASSERT_GE(fields.size(), 9u);
+    EXPECT_EQ(fields[fields.size() - 9], std::to_string(buf.peak_bytes));
+    EXPECT_EQ(fields[fields.size() - 8], std::to_string(buf.evictions));
+    EXPECT_EQ(fields[fields.size() - 7], std::to_string(buf.spill_bytes));
+    EXPECT_EQ(fields[fields.size() - 6], std::to_string(buf.restores));
+    EXPECT_EQ(fields[fields.size() - 5], "0");
+    EXPECT_EQ(fields[fields.size() - 1], "sim");
   }
   std::remove(path.c_str());
   fs::remove_all(spill_dir);

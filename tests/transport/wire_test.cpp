@@ -1,0 +1,208 @@
+// Wire-framing hostile-input tests: the TCP decode path must reject
+// malformed, truncated, and oversized frames with FramingError — never
+// UB — and must keep working when handshakes and frames coalesce into
+// one receive chunk (the stream gives no alignment guarantees). These
+// run under the ASan/UBSan CI matrix.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "transport/real/wire.hpp"
+
+namespace ccf::transport::real {
+namespace {
+
+std::vector<std::byte> encode_frame(const Message& m) {
+  const FrameHeader h = make_frame_header(m);
+  std::vector<std::byte> out(frame_bytes(m.payload.size()));
+  std::memcpy(out.data(), &h, sizeof h);
+  if (m.payload.size() != 0)
+    std::memcpy(out.data() + sizeof h, m.payload.data(), m.payload.size());
+  return out;
+}
+
+Message make_message(int tag, std::size_t payload_bytes) {
+  Message m;
+  m.src = 3;
+  m.dst = 7;
+  m.tag = tag;
+  m.seq = 42;
+  std::vector<std::byte> p(payload_bytes);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = static_cast<std::byte>((i * 13 + static_cast<std::size_t>(tag)) & 0xFF);
+  m.payload = make_payload(std::move(p));
+  return m;
+}
+
+TEST(FrameDecoder, RoundTripsFramesAcrossArbitrarySplits) {
+  const Message a = make_message(1, 100);
+  const Message b = make_message(2, 0);
+  const Message c = make_message(3, 4096);
+  std::vector<std::byte> stream;
+  for (const Message* m : {&a, &b, &c}) {
+    const auto f = encode_frame(*m);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+
+  // Feed in 7-byte slivers: every header and payload boundary is crossed.
+  FrameDecoder dec(1u << 20);
+  std::vector<Message> got;
+  Message out;
+  for (std::size_t off = 0; off < stream.size(); off += 7) {
+    const std::size_t n = std::min<std::size_t>(7, stream.size() - off);
+    dec.feed(stream.data() + off, n);
+    while (dec.next(out)) got.push_back(out);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Message& want = *std::vector<const Message*>{&a, &b, &c}[i];
+    EXPECT_EQ(got[i].src, want.src);
+    EXPECT_EQ(got[i].dst, want.dst);
+    EXPECT_EQ(got[i].tag, want.tag);
+    EXPECT_EQ(got[i].seq, want.seq);
+    ASSERT_EQ(got[i].payload.size(), want.payload.size());
+    if (want.payload.size() != 0)
+      EXPECT_EQ(std::memcmp(got[i].payload.data(), want.payload.data(),
+                            want.payload.size()),
+                0);
+  }
+  EXPECT_EQ(dec.pending(), 0u);
+}
+
+TEST(FrameDecoder, TruncatedFrameIsPendingNotAnError) {
+  const auto f = encode_frame(make_message(1, 256));
+  FrameDecoder dec(1u << 20);
+  dec.feed(f.data(), f.size() - 1);  // one byte short
+  Message out;
+  EXPECT_FALSE(dec.next(out));
+  EXPECT_EQ(dec.pending(), f.size() - 1);  // caller turns EOF-here into an error
+  dec.feed(f.data() + f.size() - 1, 1);
+  EXPECT_TRUE(dec.next(out));
+  EXPECT_EQ(out.payload.size(), 256u);
+}
+
+TEST(FrameDecoder, BadMagicThrows) {
+  auto f = encode_frame(make_message(1, 8));
+  f[0] = std::byte{0x00};
+  FrameDecoder dec(1u << 20);
+  dec.feed(f.data(), f.size());
+  Message out;
+  EXPECT_THROW(dec.next(out), FramingError);
+}
+
+TEST(FrameDecoder, UnsupportedVersionThrows) {
+  Message m = make_message(1, 8);
+  FrameHeader h = make_frame_header(m);
+  h.version = 9;
+  std::vector<std::byte> f(frame_bytes(8));
+  std::memcpy(f.data(), &h, sizeof h);
+  FrameDecoder dec(1u << 20);
+  dec.feed(f.data(), f.size());
+  Message out;
+  EXPECT_THROW(dec.next(out), FramingError);
+}
+
+TEST(FrameDecoder, OversizedLengthPrefixRejectedBeforeAllocation) {
+  // Length prefixes just above the cap, near SIZE_MAX, and at 2^63 must
+  // all throw on header validation — none may reach an allocation or
+  // wrap the "bytes available" arithmetic.
+  for (const std::uint64_t evil :
+       {std::uint64_t{4097}, ~std::uint64_t{0}, std::uint64_t{1} << 63,
+        std::uint64_t{0} - 40 /* wraps: header + payload == 2^64 == 0 */}) {
+    FrameHeader h;
+    h.payload_bytes = evil;
+    std::vector<std::byte> f(kFrameHeaderBytes);
+    std::memcpy(f.data(), &h, sizeof h);
+    FrameDecoder dec(4096);
+    dec.feed(f.data(), f.size());
+    Message out;
+    EXPECT_THROW(dec.next(out), FramingError) << "prefix " << evil;
+  }
+}
+
+TEST(Handshake, RoundTrips) {
+  Handshake hs;
+  hs.magic = kHelloMagic;
+  hs.src = 4;
+  hs.dst = 9;
+  hs.identity = "flow/3";
+  const auto wire = encode_handshake(hs);
+
+  Handshake got;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(decode_handshake(wire.data(), wire.size(), kHelloMagic, got, consumed));
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(got.src, 4);
+  EXPECT_EQ(got.dst, 9);
+  EXPECT_EQ(got.identity, "flow/3");
+}
+
+TEST(Handshake, IncompleteReturnsFalse) {
+  Handshake hs;
+  hs.identity = "a-longer-identity-string";
+  const auto wire = encode_handshake(hs);
+  Handshake got;
+  std::size_t consumed = 0;
+  for (std::size_t n = 0; n < wire.size(); ++n)
+    EXPECT_FALSE(decode_handshake(wire.data(), n, kHelloMagic, got, consumed)) << n;
+}
+
+TEST(Handshake, CoalescedTrailingFrameBytesAreReportedNotConsumed) {
+  // TCP gives no message boundaries: the peer's first frames routinely
+  // arrive in the same recv chunk as its HELLO. The decode must succeed
+  // and report exactly the handshake bytes as consumed, leaving the
+  // frame bytes for the frame decoder. (Regression: an over-eager size
+  // guard used to reject the whole connection as "oversized".)
+  Handshake hs;
+  hs.src = 0;
+  hs.dst = 1;
+  hs.identity = "proc/0";
+  auto wire = encode_handshake(hs);
+  const std::size_t handshake_bytes = wire.size();
+  const auto frame = encode_frame(make_message(5, 65536));
+  wire.insert(wire.end(), frame.begin(), frame.end());
+
+  Handshake got;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(decode_handshake(wire.data(), wire.size(), kHelloMagic, got, consumed));
+  EXPECT_EQ(consumed, handshake_bytes);
+  EXPECT_EQ(got.identity, "proc/0");
+
+  FrameDecoder dec(1u << 20);
+  dec.feed(wire.data() + consumed, wire.size() - consumed);
+  Message out;
+  ASSERT_TRUE(dec.next(out));
+  EXPECT_EQ(out.payload.size(), 65536u);
+}
+
+TEST(Handshake, WrongMagicThrows) {
+  Handshake hs;
+  const auto wire = encode_handshake(hs);  // kHelloMagic
+  Handshake got;
+  std::size_t consumed = 0;
+  EXPECT_THROW(decode_handshake(wire.data(), wire.size(), kWelcomeMagic, got, consumed),
+               FramingError);
+}
+
+TEST(Handshake, OversizedIdentityRejectedOnBothSides) {
+  Handshake hs;
+  hs.identity.assign(kMaxIdentityBytes + 1, 'x');
+  EXPECT_THROW((void)encode_handshake(hs), util::Error);
+
+  // A hostile prelude claiming an identity above the cap must throw
+  // before any identity bytes are read.
+  HandshakePrelude p;
+  p.magic = kHelloMagic;
+  p.version = kWireVersion;
+  p.identity_bytes = static_cast<std::uint16_t>(kMaxIdentityBytes + 1);
+  std::vector<std::byte> wire(sizeof p);
+  std::memcpy(wire.data(), &p, sizeof p);
+  Handshake got;
+  std::size_t consumed = 0;
+  EXPECT_THROW(decode_handshake(wire.data(), wire.size(), kHelloMagic, got, consumed),
+               FramingError);
+}
+
+}  // namespace
+}  // namespace ccf::transport::real
