@@ -40,6 +40,7 @@ struct Row {
   int ranks = 0;
   int fanin = 0;
   int shards = 1;
+  int flush = 0;          ///< tree_flush_count (0 = one frame per wave)
   int requests = 0;       ///< total import calls (both connections)
   int matched = 0;
   double checksum = 0;    ///< order-independent digest of the answers
@@ -48,11 +49,12 @@ struct Row {
   double end_time = 0;
 };
 
-Row run_point(int ranks, int fanin, int shards, int requests_per_conn) {
+Row run_point(int ranks, int fanin, int shards, int requests_per_conn, int flush_count) {
   core::Config config;
   core::ProgramSpec e_spec{"E", "h", "/e", ranks, {}};
   e_spec.rep_fanin = fanin;
   e_spec.rep_shards = shards;
+  e_spec.tree_flush_count = flush_count;
   config.add_program(e_spec);
   config.add_program(core::ProgramSpec{"I", "h", "/i", 1, {}});
   config.add_connection(core::ConnectionSpec{"E", "a", "I", "a", core::MatchPolicy::REGL, 0.5});
@@ -92,6 +94,7 @@ Row run_point(int ranks, int fanin, int shards, int requests_per_conn) {
   row.ranks = ranks;
   row.fanin = fanin;
   row.shards = shards;
+  row.flush = flush_count;
   system.set_program_body("I", [&](CouplingRuntime& rt, runtime::ProcessContext& ctx) {
     rt.define_import_region("a", i_decomp);
     rt.define_import_region("b", i_decomp);
@@ -123,7 +126,8 @@ Row run_point(int ranks, int fanin, int shards, int requests_per_conn) {
 std::string json_row(const Row& row) {
   std::ostringstream os;
   os << "    {\"ranks\": " << row.ranks << ", \"fanin\": " << row.fanin
-     << ", \"shards\": " << row.shards << ", \"requests\": " << row.requests
+     << ", \"shards\": " << row.shards << ", \"flush_count\": " << row.flush
+     << ", \"requests\": " << row.requests
      << ", \"matched\": " << row.matched << ", \"checksum\": " << row.checksum
      << ", \"rep_wire_in\": " << row.rep.wire_in
      << ", \"rep_inbound_per_rank\": "
@@ -151,25 +155,39 @@ int main(int argc, char** argv) {
   cli.add_option("ranks", "8,64,512,4096", "exporter rank counts to sweep");
   cli.add_option("fanins", "0,8", "aggregation-tree fan-ins (0 = flat single rep)");
   cli.add_option("requests", "6", "import requests per connection");
+  cli.add_option("flushes", "4",
+                 "pipelined-aggregation tree_flush_count values added per treed "
+                 "fan-in (0, the per-wave baseline, always runs)");
   cli.add_flag("sharded", "add a fanin=max,shards=2 point per rank count");
   cli.add_flag("json", "emit machine-readable JSON instead of the table");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto ranks = util::parse_int_list(cli.get("ranks"));
   const auto fanins = util::parse_int_list(cli.get("fanins"));
+  const auto flushes = util::parse_int_list(cli.get("flushes"));
   const int requests = static_cast<int>(cli.get_int("requests"));
   const bool json = cli.get_bool("json");
 
   std::vector<Row> rows;
   for (long long n : ranks) {
     for (long long f : fanins) {
-      rows.push_back(run_point(static_cast<int>(n), static_cast<int>(f), 1, requests));
+      rows.push_back(run_point(static_cast<int>(n), static_cast<int>(f), 1, requests, 0));
+      // Pipelined-aggregation dimension: same point with partial frames
+      // flushed every `flush` entries instead of once per drained wave.
+      if (f >= 2 && n > f) {
+        for (long long flush : flushes) {
+          if (flush <= 0) continue;
+          rows.push_back(run_point(static_cast<int>(n), static_cast<int>(f), 1, requests,
+                                   static_cast<int>(flush)));
+        }
+      }
     }
     if (cli.get_bool("sharded")) {
       long long fmax = 0;
       for (long long f : fanins) fmax = std::max(fmax, f);
       if (fmax >= 2) {
-        rows.push_back(run_point(static_cast<int>(n), static_cast<int>(fmax), 2, requests));
+        rows.push_back(
+            run_point(static_cast<int>(n), static_cast<int>(fmax), 2, requests, 0));
       }
     }
   }
@@ -184,12 +202,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== rep scalability: rank x fan-in sweep (2 conns -> 1-rank importer) ==\n\n");
-  util::TableWriter table({"ranks", "fan-in", "shards", "rep in", "in/rank", "frames in",
-                           "entries", "answers", "matched", "end time s"});
+  util::TableWriter table({"ranks", "fan-in", "shards", "flush", "rep in", "in/rank",
+                           "frames in", "entries", "answers", "matched", "end time s"});
   for (const Row& row : rows) {
     table.add_row({std::to_string(row.ranks),
                    row.fanin == 0 ? "flat" : std::to_string(row.fanin),
-                   std::to_string(row.shards), std::to_string(row.rep.wire_in),
+                   std::to_string(row.shards),
+                   row.flush == 0 ? "wave" : std::to_string(row.flush),
+                   std::to_string(row.rep.wire_in),
                    util::TableWriter::fmt(
                        static_cast<double>(row.rep.wire_in) / row.ranks, 2),
                    std::to_string(row.rep.frames_in),

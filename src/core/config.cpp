@@ -57,8 +57,9 @@ Config Config::parse_string(const std::string& text) {
       spec.nprocs = static_cast<int>(std::strtol(tokens[3].c_str(), &end, 10));
       CCF_REQUIRE(end && *end == '\0' && spec.nprocs > 0,
                   "config line " << lineno << ": bad process count '" << tokens[3] << "'");
-      // Optional `fanin=F` / `shards=S` tokens configure the hierarchical
-      // representative layer; anything else goes to extra_args verbatim.
+      // Optional `fanin=F` / `shards=S` / `flush_count=N` / `flush_bytes=B`
+      // tokens configure the hierarchical representative layer; anything
+      // else goes to extra_args verbatim.
       for (auto it = tokens.begin() + 4; it != tokens.end(); ++it) {
         int* field = nullptr;
         std::size_t prefix = 0;
@@ -68,6 +69,12 @@ Config Config::parse_string(const std::string& text) {
         } else if (it->rfind("shards=", 0) == 0) {
           field = &spec.rep_shards;
           prefix = 7;
+        } else if (it->rfind("flush_count=", 0) == 0) {
+          field = &spec.tree_flush_count;
+          prefix = 12;
+        } else if (it->rfind("flush_bytes=", 0) == 0) {
+          field = &spec.tree_flush_bytes;
+          prefix = 12;
         }
         if (!field) {
           spec.extra_args.push_back(*it);
@@ -130,6 +137,12 @@ void Config::add_program(ProgramSpec spec) {
                          << spec.rep_fanin);
   CCF_REQUIRE(spec.rep_shards >= 1,
               "program " << spec.name << ": rep_shards must be >= 1, got " << spec.rep_shards);
+  CCF_REQUIRE(spec.tree_flush_count >= 0,
+              "program " << spec.name << ": tree_flush_count must be >= 0, got "
+                         << spec.tree_flush_count);
+  CCF_REQUIRE(spec.tree_flush_bytes >= 0,
+              "program " << spec.name << ": tree_flush_bytes must be >= 0, got "
+                         << spec.tree_flush_bytes);
   programs_.push_back(std::move(spec));
 }
 

@@ -47,6 +47,19 @@ struct ProgramSpec {
   /// a hub program. 1 (the default) keeps today's single rep. Config file
   /// syntax: a `shards=S` token on the program line.
   int rep_shards = 1;
+
+  /// Pipelined tree aggregation (docs/PROTOCOL.md, "Partial tree frames").
+  /// Sub-reps and rep shards normally buffer a whole drained wave before
+  /// emitting one TreeUp/TreeDown frame per destination. A nonzero
+  /// tree_flush_count flushes a destination's frame early once it holds
+  /// that many entries; a nonzero tree_flush_bytes flushes once the
+  /// buffered payload bytes reach the threshold. Either trigger fires
+  /// independently; the wave-end flush always remains, so 0/0 (the
+  /// default) reproduces today's one-frame-per-wave traffic byte for
+  /// byte. Config file syntax: `flush_count=N` / `flush_bytes=B` tokens
+  /// on the program line.
+  int tree_flush_count = 0;
+  int tree_flush_bytes = 0;
 };
 
 struct ConnectionSpec {

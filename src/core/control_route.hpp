@@ -5,9 +5,11 @@
 // is owned by shard c % shards, and with shards == 1 this is exactly the
 // single pre-tree rep. Aggregation tree: everything goes to the worker's
 // leaf sub-rep (`parent`), which batches entries into control frames and
-// routes them to the right shard at the top of the tree. A worker whose
-// sub-rep stops relaying (departure detection) re-parents by clearing
-// `has_parent`, falling back to the direct shard layer.
+// routes them to the right shard at the top of the tree (whole waves by
+// default; partial frames when the layout's flush_count/flush_bytes
+// pipelining knobs are set — the routing is identical either way). A
+// worker whose sub-rep stops relaying (departure detection) re-parents by
+// clearing `has_parent`, falling back to the direct shard layer.
 #pragma once
 
 #include "transport/message.hpp"

@@ -93,6 +93,8 @@ DeploymentLayout::DeploymentLayout(const Config& config) {
     layout.nprocs = spec.nprocs;
     layout.shards = spec.rep_shards;
     layout.fanin = spec.rep_fanin;
+    layout.flush_count = spec.tree_flush_count;
+    layout.flush_bytes = spec.tree_flush_bytes;
     layout.first = next_id_;
     layout.rep = next_id_ + spec.nprocs;
     layout.tree = ProgramLayout::build_tree(spec.nprocs, spec.rep_fanin);

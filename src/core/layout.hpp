@@ -40,6 +40,8 @@ struct ProgramLayout {
   ProcId rep = 0;    ///< id of the representative process (shard 0)
   int shards = 1;    ///< rep shard count; shard s has id rep + s
   int fanin = 0;     ///< aggregation-tree fan-in, 0 = flat (no tree)
+  int flush_count = 0;  ///< partial-frame flush after N entries, 0 = per wave
+  int flush_bytes = 0;  ///< partial-frame flush after B payload bytes, 0 = per wave
   ProcId subrep_first = 0;       ///< id of tree node 0 (when !tree.empty())
   std::vector<TreeNode> tree;    ///< aggregation tree, empty when flat
 

@@ -72,11 +72,14 @@ struct FrameworkOptions {
   /// throttle, and arena caps. All off by default.
   MemoryOptions memory;
 
-  /// Modeled per-message dispatch cost charged by rep shards and sub-reps
-  /// for every inbound control wire message. 0 (default) charges nothing —
-  /// virtual end times stay identical to the pre-tree runtime. Nonzero
-  /// makes the single-rep funnel serialization visible in virtual time,
-  /// which is what `bench_rep_scale` sweeps (docs/PERF.md).
+  /// Modeled dispatch cost charged by rep shards and sub-reps per unit of
+  /// control work: once per plain inbound wire message, and once per
+  /// *entry* of a batched TreeUp/TreeDown frame — so the charge is
+  /// framing-neutral and pipelined partial frames (ProgramSpec::
+  /// tree_flush_count) overlap rather than shrink it. 0 (default) charges
+  /// nothing — virtual end times stay identical to the pre-tree runtime.
+  /// Nonzero makes the single-rep funnel serialization visible in virtual
+  /// time, which is what `bench_rep_scale` sweeps (docs/PERF.md).
   double rep_dispatch_seconds = 0;
 
   /// Chaos hook: sub-rep `debug_kill_subrep` of program

@@ -24,7 +24,10 @@ namespace {
 /// to the worker (the pre-tree wire traffic, byte for byte). Tree layout:
 /// sends are buffered as frame entries, one frame per top-level sub-rep per
 /// processed wave — so a collective broadcast costs the rep O(fan-in) wire
-/// messages instead of O(nprocs). Ranks known to have re-parented (their
+/// messages instead of O(nprocs). With pipelined aggregation (the layout's
+/// flush_count/flush_bytes knobs) a destination's partial frame ships as
+/// soon as the threshold fills, overlapping the sub-rep's unwrapping with
+/// the rest of the rep's wave. Ranks known to have re-parented (their
 /// sub-rep died) are served directly in addition to the tree.
 struct DownLink {
   runtime::ProcessContext& ctx;
@@ -34,6 +37,7 @@ struct DownLink {
   std::vector<int> tops;                      ///< top-level tree node indices
   std::vector<int> rank_to_top;               ///< rank -> index into tops
   std::vector<std::vector<FrameEntry>> buf;   ///< pending entries per top node
+  std::vector<std::size_t> buf_bytes;         ///< payload bytes pending per top node
   std::set<int> direct_ranks;                 ///< re-parented: bypass the tree
 
   DownLink(runtime::ProcessContext& c, const ProgramLayout& p, RepResult& r)
@@ -42,11 +46,30 @@ struct DownLink {
     tops = pl.top_nodes();
     rank_to_top.assign(static_cast<std::size_t>(pl.nprocs), 0);
     for (std::size_t i = 0; i < tops.size(); ++i) {
-      for (int r : pl.subtree_ranks(tops[i])) {
-        rank_to_top[static_cast<std::size_t>(r)] = static_cast<int>(i);
+      for (int rank : pl.subtree_ranks(tops[i])) {
+        rank_to_top[static_cast<std::size_t>(rank)] = static_cast<int>(i);
       }
     }
     buf.resize(tops.size());
+    buf_bytes.assign(tops.size(), 0);
+  }
+
+  void flush_one(std::size_t i) {
+    if (buf[i].empty()) return;
+    ctx.send(pl.subrep(tops[i]), kTagTreeDown, encode_frame(buf[i]));
+    ++result.frames_out;
+    result.frame_entries_out += buf[i].size();
+    buf[i].clear();
+    buf_bytes[i] = 0;
+  }
+
+  void push(std::size_t i, FrameEntry e) {
+    buf_bytes[i] += e.payload.size();
+    buf[i].push_back(std::move(e));
+    if ((pl.flush_count > 0 && buf[i].size() >= static_cast<std::size_t>(pl.flush_count)) ||
+        (pl.flush_bytes > 0 && buf_bytes[i] >= static_cast<std::size_t>(pl.flush_bytes))) {
+      flush_one(i);
+    }
   }
 
   void bcast(transport::Tag tag, const transport::Payload& p) {
@@ -54,7 +77,9 @@ struct DownLink {
       for (ProcId proc : pl.proc_ids()) ctx.send(proc, tag, p);
       return;
     }
-    for (auto& b : buf) b.push_back(FrameEntry{kFrameBroadcast, tag, p});
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      push(i, FrameEntry{kFrameBroadcast, tag, p});
+    }
     for (int r : direct_ranks) ctx.send(pl.proc(r), tag, p);
   }
 
@@ -63,19 +88,13 @@ struct DownLink {
       ctx.send(pl.proc(rank), tag, p);
       return;
     }
-    buf[static_cast<std::size_t>(rank_to_top[static_cast<std::size_t>(rank)])].push_back(
-        FrameEntry{rank, tag, p});
+    push(static_cast<std::size_t>(rank_to_top[static_cast<std::size_t>(rank)]),
+         FrameEntry{rank, tag, p});
   }
 
   void flush() {
     if (!enabled) return;
-    for (std::size_t i = 0; i < buf.size(); ++i) {
-      if (buf[i].empty()) continue;
-      ctx.send(pl.subrep(tops[i]), kTagTreeDown, encode_frame(buf[i]));
-      ++result.frames_out;
-      result.frame_entries_out += buf[i].size();
-      buf[i].clear();
-    }
+    for (std::size_t i = 0; i < buf.size(); ++i) flush_one(i);
   }
 };
 
@@ -540,15 +559,23 @@ RepResult run_rep(runtime::ProcessContext& ctx, const Config& config,
 
   auto process = [&](const Message& m) {
     ++result.wire_in;
-    if (options.rep_dispatch_seconds > 0) ctx.compute(options.rep_dispatch_seconds);
     if (m.tag == kTagTreeUp) {
       ++result.frames_in;
-      for (const FrameEntry& e : decode_frame(m.payload)) {
+      const std::vector<FrameEntry> entries = decode_frame(m.payload);
+      // Dispatch cost scales with the entries carried, not the frames they
+      // ride in: batching changes the framing, never the modeled work —
+      // and partial frames let this per-entry work start before the
+      // sub-reps finish draining their wave.
+      if (options.rep_dispatch_seconds > 0 && !entries.empty()) {
+        ctx.compute(options.rep_dispatch_seconds * static_cast<double>(entries.size()));
+      }
+      for (const FrameEntry& e : entries) {
         ++result.frame_entries_in;
         handle(pl.first + e.rank, e.tag, e.payload);
       }
       return;
     }
+    if (options.rep_dispatch_seconds > 0) ctx.compute(options.rep_dispatch_seconds);
     if (down.enabled && is_own_proc(m.src)) {
       // With a tree up, a worker only ever speaks to us directly after
       // re-parenting (its sub-rep stopped relaying): serve it directly

@@ -81,40 +81,62 @@ SubRepResult run_subrep(runtime::ProcessContext& ctx, const Config& config,
 
   // Upward coalescing buffers: one frame per destination per wave. Interior
   // nodes have a single destination (the parent node); top nodes route
-  // per rep shard.
+  // per rep shard. With pipelined aggregation (flush_count/flush_bytes) a
+  // destination's partial frame ships as soon as the threshold fills, so
+  // the parent starts dispatching entries while this node is still
+  // draining its wave; the wave-end flush keeps liveness.
   const std::size_t up_dests = top ? static_cast<std::size_t>(pl.shards) : 1;
   std::vector<std::vector<FrameEntry>> up(up_dests);
+  std::vector<std::size_t> up_bytes(up_dests, 0);
+
+  auto flush_dest = [&](std::size_t d) {
+    if (up[d].empty()) return;
+    const ProcId dest = top ? pl.shard_id(static_cast<int>(d)) : pl.subrep(node.parent);
+    ctx.send(dest, kTagTreeUp, encode_frame(up[d]));
+    ++res.frames_up;
+    res.entries_up += up[d].size();
+    up[d].clear();
+    up_bytes[d] = 0;
+  };
+
+  auto threshold_hit = [&](std::size_t d) {
+    return (pl.flush_count > 0 &&
+            up[d].size() >= static_cast<std::size_t>(pl.flush_count)) ||
+           (pl.flush_bytes > 0 && up_bytes[d] >= static_cast<std::size_t>(pl.flush_bytes));
+  };
 
   auto push_up = [&](FrameEntry e) {
     if (mutate_tree() && (++up_seq % 3 == 0)) return;  // drop every 3rd entry
-    if (!top) {
-      up[0].push_back(std::move(e));
+    if (top && pl.shards > 1 && all_shard_tag(e.tag)) {
+      for (std::size_t d = 0; d < up.size(); ++d) {
+        up[d].push_back(e);  // payload shared, zero-copy
+        up_bytes[d] += e.payload.size();
+        if (threshold_hit(d)) flush_dest(d);
+      }
       return;
     }
-    if (pl.shards > 1 && all_shard_tag(e.tag)) {
-      for (auto& dest : up) dest.push_back(e);  // payload shared, zero-copy
-      return;
-    }
-    const int shard =
-        pl.shards > 1 ? static_cast<int>(leading_u32(e.payload)) % pl.shards : 0;
-    up[static_cast<std::size_t>(shard)].push_back(std::move(e));
+    const int shard = top && pl.shards > 1
+                          ? static_cast<int>(leading_u32(e.payload)) % pl.shards
+                          : 0;
+    const auto d = static_cast<std::size_t>(shard);
+    up_bytes[d] += e.payload.size();
+    up[d].push_back(std::move(e));
+    if (threshold_hit(d)) flush_dest(d);
   };
 
   auto flush_up = [&] {
-    for (std::size_t d = 0; d < up.size(); ++d) {
-      if (up[d].empty()) continue;
-      const ProcId dest = top ? pl.shard_id(static_cast<int>(d)) : pl.subrep(node.parent);
-      ctx.send(dest, kTagTreeUp, encode_frame(up[d]));
-      ++res.frames_up;
-      res.entries_up += up[d].size();
-      up[d].clear();
-    }
+    for (std::size_t d = 0; d < up.size(); ++d) flush_dest(d);
   };
 
   auto relay_down = [&](const Message& m) {
     last_down_seen = ctx.now();
     const std::vector<FrameEntry> entries = decode_frame(m.payload);
     ++res.frames_down;
+    // Dispatch cost scales with the entries carried, not the wire frames
+    // they ride in: batching changes the framing, never the modeled work.
+    if (options.rep_dispatch_seconds > 0 && !entries.empty()) {
+      ctx.compute(options.rep_dispatch_seconds * static_cast<double>(entries.size()));
+    }
     std::vector<std::vector<FrameEntry>> per_child;
     if (!node.leaf_level) per_child.resize(child_ids.size());
     for (const FrameEntry& e : entries) {
@@ -149,13 +171,17 @@ SubRepResult run_subrep(runtime::ProcessContext& ctx, const Config& config,
 
   auto process = [&](const Message& m) {
     ++res.wire_in;
-    if (options.rep_dispatch_seconds > 0) ctx.compute(options.rep_dispatch_seconds);
     if (m.tag == kTagTreeDown) {
-      relay_down(m);
+      relay_down(m);  // charges dispatch per entry after decoding
     } else if (m.tag == kTagTreeUp) {
       // A child sub-rep's batch: re-route its entries (merging waves).
-      for (FrameEntry& e : decode_frame(m.payload)) push_up(std::move(e));
+      std::vector<FrameEntry> entries = decode_frame(m.payload);
+      if (options.rep_dispatch_seconds > 0 && !entries.empty()) {
+        ctx.compute(options.rep_dispatch_seconds * static_cast<double>(entries.size()));
+      }
+      for (FrameEntry& e : entries) push_up(std::move(e));
     } else {
+      if (options.rep_dispatch_seconds > 0) ctx.compute(options.rep_dispatch_seconds);
       // Plain control message from one of our worker children.
       CCF_CHECK(m.src >= pl.first && m.src < pl.first + pl.nprocs,
                 "sub-rep of " << program_name << " got tag " << m.tag

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <tuple>
 
 #include "transport/fabric.hpp"
 #include "transport/real/wire.hpp"
@@ -85,36 +86,57 @@ class RealEndpoint final : public Endpoint {
   struct Conn {
     int fd = -1;
     ProcId peer = kAnyProc;
-    FrameDecoder decoder;
+    BlockDecoder decoder;
+    BlockDecoder::Stats synced;   ///< decoder stats already added to SharedCounters
     bool handshake_done = false;  ///< acceptor: HELLO seen; initiator: WELCOME seen
     bool initiator = false;
     std::vector<std::byte> hsbuf;  ///< handshake bytes accumulated so far
     bool dead = false;
 
     std::mutex write_mutex;
-    std::deque<std::vector<std::byte>> writeq;
-    std::size_t writeq_offset = 0;  ///< consumed bytes of writeq.front()
-    std::size_t writeq_bytes = 0;
+    SendQueue writeq;
     bool epollout_armed = false;
     bool counted_pressure = false;
 
-    explicit Conn(std::size_t max_payload) : decoder(max_payload) {}
+    Conn(std::size_t max_payload, std::size_t block_bytes, std::size_t inline_bytes)
+        : decoder(max_payload, block_bytes, inline_bytes) {}
+  };
+
+  /// A frame addressed to a peer whose connection has not completed its
+  /// handshake yet; moved onto the SendQueue in order when it does.
+  struct Parked {
+    FrameHeader header;
+    Payload payload;
+  };
+
+  /// Contiguous run of drained inline ring records awaiting one merged
+  /// release() — one mutex acquisition and tail store per burst instead
+  /// of per record.
+  struct ReleaseBatch {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    bool active = false;
   };
 
   void io_loop();
+  bool rings_have_data() const;
   void drain_rings();
-  void deliver_record(std::size_t producer_index, const RingConsumer::Record& rec);
+  void deliver_record(std::size_t producer_index, const RingConsumer::Record& rec,
+                      ReleaseBatch& batch);
   void handle_readable(const std::shared_ptr<Conn>& c);
-  void handle_bytes(const std::shared_ptr<Conn>& c, const std::byte* data, std::size_t n);
+  bool handle_handshake_bytes(const std::shared_ptr<Conn>& c, const std::byte* data,
+                              std::size_t n);
   void complete_handshake(const std::shared_ptr<Conn>& c, const Handshake& hs);
   void deliver_frames(const std::shared_ptr<Conn>& c);
   void flush_writeq(const std::shared_ptr<Conn>& c);
   void accept_pending();
   void close_conn(const std::shared_ptr<Conn>& c, bool count_decode_error);
-  void enqueue_bytes(const std::shared_ptr<Conn>& c, const std::byte* head,
-                     std::size_t head_bytes, const std::byte* body, std::size_t body_bytes);
+  void enqueue_frame(const std::shared_ptr<Conn>& c, const FrameHeader& h, Payload payload);
+  void enqueue_raw(const std::shared_ptr<Conn>& c, std::vector<std::byte> raw);
+  void flush_and_arm(Conn& c);
   void send_shm(std::size_t peer_index, const FrameHeader& h, const Payload& payload);
   void send_tcp(std::size_t peer_index, const FrameHeader& h, const Payload& payload);
+  void ring_doorbell(std::size_t member_index);
   std::shared_ptr<Conn> connect_to(ProcId peer);
   void register_conn_locked(const std::shared_ptr<Conn>& c);
   void writeq_watermarks(Conn& c);
@@ -138,9 +160,9 @@ class RealEndpoint final : public Endpoint {
   int listen_fd_ = -1;    ///< owned by the host
 
   std::mutex conns_mutex_;
-  std::unordered_map<int, std::shared_ptr<Conn>> conns_;       ///< by fd
-  std::vector<std::shared_ptr<Conn>> peer_conn_;               ///< by member index
-  std::vector<std::deque<std::vector<std::byte>>> pending_out_;  ///< pre-handshake sends
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;  ///< by fd
+  std::vector<std::shared_ptr<Conn>> peer_conn_;          ///< by member index
+  std::vector<std::deque<Parked>> pending_out_;           ///< pre-handshake sends
 
   std::thread io_thread_;
   std::atomic<bool> stop_{false};
@@ -212,7 +234,7 @@ RealEndpoint::~RealEndpoint() {
       std::lock_guard<std::mutex> lock(conns_mutex_);
       for (auto& [fd, c] : conns_) {
         std::lock_guard<std::mutex> wlock(c->write_mutex);
-        if (!c->dead) queued += c->writeq_bytes;
+        if (!c->dead) queued += c->writeq.bytes();
       }
     }
     if (queued == 0 || std::chrono::steady_clock::now() >= deadline) break;
@@ -260,6 +282,22 @@ void RealEndpoint::send(Message m) {
   }
 }
 
+void RealEndpoint::ring_doorbell(std::size_t member_index) {
+  // Coalesced doorbell: only the producer that wins the SLEEPING -> AWAKE
+  // edge pays the eventfd write; every further record in the burst sees
+  // the consumer already awake (it re-arms SLEEPING just before its next
+  // epoll_wait, after re-checking the rings). The fence orders the ring's
+  // head publish before the gate load — without it the consumer could
+  // declare itself asleep between our publish and a stale AWAKE read.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::atomic<std::uint32_t>* door = host_.door_state(member_index);
+  if (door->load(std::memory_order_seq_cst) == kDoorSleeping &&
+      door->exchange(kDoorAwake, std::memory_order_seq_cst) == kDoorSleeping) {
+    write_doorbell(host_.doorbell_[member_index], ctr_);
+    ctr_->shm_doorbell_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void RealEndpoint::send_shm(std::size_t peer_index, const FrameHeader& h,
                             const Payload& payload) {
   ShmRing& ring = ring_to_[peer_index];
@@ -274,12 +312,12 @@ void RealEndpoint::send_shm(std::size_t peer_index, const FrameHeader& h,
         stop_.load(std::memory_order_acquire))
       throw MailboxClosed();
     // Make sure the consumer is awake to free space, then back off.
-    write_doorbell(host_.doorbell_[peer_index], ctr_);
+    ring_doorbell(peer_index);
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
   if (stalled) set_ring_stalled(false);
   ctr_->shm_frames.fetch_add(1, std::memory_order_relaxed);
-  write_doorbell(host_.doorbell_[peer_index], ctr_);
+  ring_doorbell(peer_index);
 }
 
 void RealEndpoint::send_tcp(std::size_t peer_index, const FrameHeader& h,
@@ -290,66 +328,63 @@ void RealEndpoint::send_tcp(std::size_t peer_index, const FrameHeader& h,
     std::lock_guard<std::mutex> lock(conns_mutex_);
     c = peer_conn_[peer_index];
     if (c == nullptr) {
-      // Acceptor side, peer not yet connected: park the frame; the
-      // handshake completion moves it onto the connection in order.
-      std::vector<std::byte> buf(frame_bytes(payload.size()));
-      std::memcpy(buf.data(), &h, sizeof h);
-      if (payload.size() != 0)
-        std::memcpy(buf.data() + sizeof h, payload.data(), payload.size());
-      pending_out_[peer_index].push_back(std::move(buf));
+      // Acceptor side, peer not yet connected: park the frame (header by
+      // value, payload by view — no flattening copy); the handshake
+      // completion moves it onto the connection in order.
+      pending_out_[peer_index].push_back(Parked{h, payload});
       return;
     }
   }
-  enqueue_bytes(c, reinterpret_cast<const std::byte*>(&h), sizeof h, payload.data(),
-                payload.size());
+  enqueue_frame(c, h, payload);
 }
 
-void RealEndpoint::enqueue_bytes(const std::shared_ptr<Conn>& c, const std::byte* head,
-                                 std::size_t head_bytes, const std::byte* body,
-                                 std::size_t body_bytes) {
+void RealEndpoint::enqueue_frame(const std::shared_ptr<Conn>& c, const FrameHeader& h,
+                                 Payload payload) {
   std::lock_guard<std::mutex> lock(c->write_mutex);
   if (c->dead) return;  // peer gone; protocol-level timeouts handle the loss
-  ctr_->tcp_bytes.fetch_add(head_bytes + body_bytes, std::memory_order_relaxed);
+  ctr_->tcp_bytes.fetch_add(kFrameHeaderBytes + payload.size(), std::memory_order_relaxed);
+  c->writeq.push_frame(h, std::move(payload));
+  flush_and_arm(*c);
+}
 
-  std::size_t done = 0;
-  const std::size_t total = head_bytes + body_bytes;
-  if (c->writeq.empty()) {
-    // Fast path: the queue is empty, so ordering allows writing straight
-    // from the caller's buffers (one gathered syscall, usually zero
-    // copies into the queue).
-    iovec iov[2];
-    iov[0].iov_base = const_cast<std::byte*>(head);
-    iov[0].iov_len = head_bytes;
-    iov[1].iov_base = const_cast<std::byte*>(body);
-    iov[1].iov_len = body_bytes;
+void RealEndpoint::enqueue_raw(const std::shared_ptr<Conn>& c, std::vector<std::byte> raw) {
+  std::lock_guard<std::mutex> lock(c->write_mutex);
+  if (c->dead) return;
+  ctr_->tcp_bytes.fetch_add(raw.size(), std::memory_order_relaxed);
+  c->writeq.push_raw(std::move(raw));
+  flush_and_arm(*c);
+}
+
+void RealEndpoint::flush_and_arm(Conn& c) {
+  // Called with c.write_mutex held. One sendmsg drains the whole queue —
+  // iovec chains over every queued header and payload view — and a
+  // partial write simply leaves the queue resumable mid-iovec.
+  constexpr std::size_t kMaxIov = 64;  // well under IOV_MAX; loops if deeper
+  while (!c.writeq.empty()) {
+    iovec iov[kMaxIov];
+    const std::size_t count = c.writeq.gather(iov, kMaxIov);
     msghdr msg{};
     msg.msg_iov = iov;
-    msg.msg_iovlen = body_bytes != 0 ? 2u : 1u;
-    const ssize_t n = ::sendmsg(c->fd, &msg, MSG_NOSIGNAL);
+    msg.msg_iovlen = count;
+    const ssize_t n = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
     ctr_->tcp_write_syscalls.fetch_add(1, std::memory_order_relaxed);
-    if (n > 0) done = static_cast<std::size_t>(n);
-    else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-      c->dead = true;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      c.dead = true;  // reaped on the next readable/EOF event
       return;
     }
-    if (done == total) return;
+    c.writeq.consume(static_cast<std::size_t>(n));
   }
-  std::vector<std::byte> rest(total - done);
-  std::size_t out = 0;
-  for (std::size_t i = done; i < head_bytes; ++i) rest[out++] = head[i];
-  const std::size_t body_done = done > head_bytes ? done - head_bytes : 0;
-  if (body_bytes > body_done)
-    std::memcpy(rest.data() + out, body + body_done, body_bytes - body_done);
-  c->writeq_bytes += rest.size();
-  c->writeq.push_back(std::move(rest));
-  if (!c->epollout_armed) {
-    c->epollout_armed = true;
+  const bool want_epollout = !c.writeq.empty();
+  if (want_epollout != c.epollout_armed) {
+    c.epollout_armed = want_epollout;
     epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLOUT;
-    ev.data.fd = c->fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+    ev.events = EPOLLIN | (want_epollout ? EPOLLOUT : 0u);
+    ev.data.fd = c.fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev);
   }
-  writeq_watermarks(*c);
+  writeq_watermarks(c);
 }
 
 // -- Backpressure -----------------------------------------------------------
@@ -357,12 +392,12 @@ void RealEndpoint::enqueue_bytes(const std::shared_ptr<Conn>& c, const std::byte
 void RealEndpoint::writeq_watermarks(Conn& c) {
   // Called with c.write_mutex held. Hysteresis: raise above high, clear
   // below low, so pressure does not flap at the boundary.
-  if (!c.counted_pressure && c.writeq_bytes > host_.options_.tcp_writeq_high_bytes) {
+  if (!c.counted_pressure && c.writeq.bytes() > host_.options_.tcp_writeq_high_bytes) {
     c.counted_pressure = true;
     std::lock_guard<std::mutex> lock(pressure_mutex_);
     ++pressured_conns_;
     recompute_pressure();
-  } else if (c.counted_pressure && c.writeq_bytes < host_.options_.tcp_writeq_low_bytes) {
+  } else if (c.counted_pressure && c.writeq.bytes() < host_.options_.tcp_writeq_low_bytes) {
     c.counted_pressure = false;
     std::lock_guard<std::mutex> lock(pressure_mutex_);
     --pressured_conns_;
@@ -424,7 +459,9 @@ std::shared_ptr<RealEndpoint::Conn> RealEndpoint::connect_to(ProcId peer) {
   ctr_->tcp_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
   set_nonblocking(fd);
 
-  auto c = std::make_shared<Conn>(host_.options_.max_frame_payload_bytes);
+  auto c = std::make_shared<Conn>(host_.options_.max_frame_payload_bytes,
+                                  host_.options_.tcp_recv_block_bytes,
+                                  host_.options_.shm_inline_bytes);
   c->fd = fd;
   c->peer = peer;
   c->initiator = true;
@@ -450,7 +487,9 @@ void RealEndpoint::accept_pending() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    auto c = std::make_shared<Conn>(host_.options_.max_frame_payload_bytes);
+    auto c = std::make_shared<Conn>(host_.options_.max_frame_payload_bytes,
+                                    host_.options_.tcp_recv_block_bytes,
+                                    host_.options_.shm_inline_bytes);
     c->fd = fd;  // peer unknown until its HELLO arrives
     std::lock_guard<std::mutex> lock(conns_mutex_);
     register_conn_locked(c);
@@ -482,7 +521,7 @@ void RealEndpoint::complete_handshake(const std::shared_ptr<Conn>& c, const Hand
     throw FramingError("HELLO identity mismatch: got '" + hs.identity + "', expected '" +
                        expect + "'");
   const std::size_t peer_index = host_.index_of(hs.src);
-  std::deque<std::vector<std::byte>> parked;
+  std::deque<Parked> parked;
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
     if (peer_conn_[peer_index] != nullptr)
@@ -499,9 +538,21 @@ void RealEndpoint::complete_handshake(const std::shared_ptr<Conn>& c, const Hand
   welcome.src = id_;
   welcome.dst = hs.src;
   welcome.identity = host_.options_.identity_of(id_);
-  const std::vector<std::byte> wire = encode_handshake(welcome);
-  enqueue_bytes(c, wire.data(), wire.size(), nullptr, 0);
-  for (auto& buf : parked) enqueue_bytes(c, buf.data(), buf.size(), nullptr, 0);
+  std::vector<std::byte> wire = encode_handshake(welcome);
+  // Queue the WELCOME and every parked frame under one lock, then flush
+  // once: the whole backlog leaves in a single vectored syscall.
+  {
+    std::lock_guard<std::mutex> lock(c->write_mutex);
+    if (c->dead) return;
+    ctr_->tcp_bytes.fetch_add(wire.size(), std::memory_order_relaxed);
+    c->writeq.push_raw(std::move(wire));
+    for (auto& p : parked) {
+      ctr_->tcp_bytes.fetch_add(kFrameHeaderBytes + p.payload.size(),
+                                std::memory_order_relaxed);
+      c->writeq.push_frame(p.header, std::move(p.payload));
+    }
+    flush_and_arm(*c);
+  }
 }
 
 void RealEndpoint::close_conn(const std::shared_ptr<Conn>& c, bool count_decode_error) {
@@ -532,11 +583,25 @@ void RealEndpoint::close_conn(const std::shared_ptr<Conn>& c, bool count_decode_
 
 void RealEndpoint::io_loop() {
   epoll_event events[64];
+  std::atomic<std::uint32_t>* door = host_.door_state(my_index_);
   for (;;) {
     if (stop_.load(std::memory_order_acquire) ||
         host_.shared_->closed.load(std::memory_order_acquire) != 0)
       break;
-    const int n = ::epoll_wait(epoll_fd_, events, 64, 100);
+    // Doorbell gate: declare SLEEPING, then re-check the rings. A record
+    // published before the store is caught by the re-check (poll with
+    // timeout 0); one published after it sees SLEEPING and rings the
+    // eventfd. Either way no wakeup is lost, and a burst into an awake
+    // loop costs its producer zero doorbell syscalls. The 100ms timeout
+    // stays as a belt-and-braces fallback.
+    door->store(kDoorSleeping, std::memory_order_seq_cst);
+    int timeout = 100;
+    if (rings_have_data()) {
+      door->store(kDoorAwake, std::memory_order_seq_cst);
+      timeout = 0;
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
+    door->store(kDoorAwake, std::memory_order_seq_cst);
     ctr_->epoll_waits.fetch_add(1, std::memory_order_relaxed);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -575,16 +640,29 @@ void RealEndpoint::io_loop() {
   mailbox_.close();
 }
 
+bool RealEndpoint::rings_have_data() const {
+  // Ordered after the SLEEPING store by its seq_cst; pairs with the
+  // producer's fence in ring_doorbell().
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  for (const auto& consumer : ring_from_)
+    if (consumer != nullptr && consumer->has_pending()) return true;
+  return false;
+}
+
 void RealEndpoint::drain_rings() {
   for (std::size_t j = 0; j < ring_from_.size(); ++j) {
     const auto& consumer = ring_from_[j];
     if (consumer == nullptr) continue;
-    while (auto rec = consumer->next()) deliver_record(j, *rec);
+    // Inline records drained back-to-back fold into one release interval;
+    // the merged release at the end is the drain's only tail store.
+    ReleaseBatch batch;
+    while (auto rec = consumer->next()) deliver_record(j, *rec, batch);
+    if (batch.active) consumer->release(batch.begin, batch.end);
   }
 }
 
 void RealEndpoint::deliver_record(std::size_t producer_index,
-                                  const RingConsumer::Record& rec) {
+                                  const RingConsumer::Record& rec, ReleaseBatch& batch) {
   const auto& consumer = ring_from_[producer_index];
   CCF_CHECK(rec.size >= kFrameHeaderBytes, "SHM record smaller than a frame header");
   const FrameHeader h = read_frame_header(rec.data);
@@ -600,10 +678,18 @@ void RealEndpoint::deliver_record(std::size_t producer_index,
   const std::byte* payload = rec.data + kFrameHeaderBytes;
   const std::size_t payload_bytes = static_cast<std::size_t>(h.payload_bytes);
   if (payload_bytes <= host_.options_.shm_inline_bytes) {
-    // Small control frames: copy out and release the slot immediately so
-    // long-held messages never pin ring space.
+    // Small control frames: copy out and release within this drain so
+    // long-held messages never pin ring space. Contiguous inline records
+    // extend the batch; a gap (a zero-copy record in between) flushes it.
     m.payload = make_payload(std::vector<std::byte>(payload, payload + payload_bytes));
-    consumer->release(rec.begin, rec.end);
+    if (batch.active && batch.end == rec.begin) {
+      batch.end = rec.end;
+    } else {
+      if (batch.active) consumer->release(batch.begin, batch.end);
+      batch.begin = rec.begin;
+      batch.end = rec.end;
+      batch.active = true;
+    }
     ctr_->shm_inline_copies.fetch_add(1, std::memory_order_relaxed);
     ctr_->shm_inline_bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
   } else {
@@ -624,61 +710,78 @@ void RealEndpoint::deliver_record(std::size_t producer_index,
 }
 
 void RealEndpoint::handle_readable(const std::shared_ptr<Conn>& c) {
-  std::byte buf[65536];
   for (;;) {
-    const ssize_t n = ::recv(c->fd, buf, sizeof buf, 0);
-    ctr_->tcp_read_syscalls.fetch_add(1, std::memory_order_relaxed);
-    if (n > 0) {
-      ctr_->tcp_bytes.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
-      try {
-        handle_bytes(c, buf, static_cast<std::size_t>(n));
-      } catch (const FramingError&) {
-        // Hostile or corrupt stream: after one bad byte there is no
-        // trustworthy framing left, so drop the connection.
-        close_conn(c, /*count_decode_error=*/true);
+    try {
+      std::byte* dst;
+      std::size_t space;
+      std::byte prebuf[4096];
+      if (!c->handshake_done) {
+        // Pre-handshake bytes go through a bounded stack buffer: nothing
+        // on this connection is trusted until the identity checks out.
+        dst = prebuf;
+        space = sizeof prebuf;
+      } else {
+        // Batched receive: the read lands directly in the decoder's
+        // refcounted block, sized to finish the current partial frame in
+        // one syscall; every complete frame in the block is parsed below
+        // without another read.
+        std::tie(dst, space) = c->decoder.recv_buffer();
+      }
+      const ssize_t n = ::recv(c->fd, dst, space, 0);
+      ctr_->tcp_read_syscalls.fetch_add(1, std::memory_order_relaxed);
+      if (n > 0) {
+        ctr_->tcp_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+        if (c->handshake_done) {
+          c->decoder.bytes_received(static_cast<std::size_t>(n));
+        } else if (!handle_handshake_bytes(c, prebuf, static_cast<std::size_t>(n))) {
+          continue;  // handshake still incomplete; read more
+        }
+        deliver_frames(c);
+        continue;
+      }
+      if (n == 0) {
+        // EOF. Mid-frame (or mid-handshake) means the stream was truncated.
+        const bool truncated = c->decoder.pending() != 0 || !c->handshake_done;
+        close_conn(c, truncated);
         return;
       }
-      continue;
-    }
-    if (n == 0) {
-      // EOF. Mid-frame (or mid-handshake) means the stream was truncated.
-      const bool truncated = c->decoder.pending() != 0 || !c->handshake_done;
-      close_conn(c, truncated);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_conn(c, /*count_decode_error=*/false);
+      return;
+    } catch (const FramingError&) {
+      // Hostile or corrupt stream: after one bad byte there is no
+      // trustworthy framing left, so drop the connection.
+      close_conn(c, /*count_decode_error=*/true);
       return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    if (errno == EINTR) continue;
-    close_conn(c, /*count_decode_error=*/false);
-    return;
   }
 }
 
-void RealEndpoint::handle_bytes(const std::shared_ptr<Conn>& c, const std::byte* data,
-                                std::size_t n) {
-  if (!c->handshake_done) {
-    c->hsbuf.insert(c->hsbuf.end(), data, data + n);
-    Handshake hs;
-    std::size_t consumed = 0;
-    if (!decode_handshake(c->hsbuf.data(), c->hsbuf.size(),
-                          c->initiator ? kWelcomeMagic : kHelloMagic, hs, consumed)) {
-      // A maximal handshake fits in prelude + identity cap; anything that
-      // still fails to decode past that point is hostile, not incomplete.
-      // (The buffer may legitimately hold far more than a handshake: the
-      // peer's first frames often coalesce into the same recv chunk.)
-      if (c->hsbuf.size() >= sizeof(HandshakePrelude) + kMaxIdentityBytes)
-        throw FramingError("handshake rejected: oversized");
-      return;  // need more bytes
-    }
-    complete_handshake(c, hs);
-    if (consumed < c->hsbuf.size())
-      c->decoder.feed(c->hsbuf.data() + consumed, c->hsbuf.size() - consumed);
-    c->hsbuf.clear();
-    c->hsbuf.shrink_to_fit();
-    deliver_frames(c);
-    return;
+/// Accumulates handshake bytes; returns true once the handshake completed
+/// (leftover coalesced frame bytes are handed to the frame decoder).
+bool RealEndpoint::handle_handshake_bytes(const std::shared_ptr<Conn>& c,
+                                          const std::byte* data, std::size_t n) {
+  c->hsbuf.insert(c->hsbuf.end(), data, data + n);
+  Handshake hs;
+  std::size_t consumed = 0;
+  if (!decode_handshake(c->hsbuf.data(), c->hsbuf.size(),
+                        c->initiator ? kWelcomeMagic : kHelloMagic, hs, consumed)) {
+    // A maximal handshake fits in prelude + identity cap; anything that
+    // still fails to decode past that point is hostile, not incomplete.
+    // (The buffer may legitimately hold far more than a handshake: the
+    // peer's first frames often coalesce into the same recv chunk.)
+    if (c->hsbuf.size() >= sizeof(HandshakePrelude) + kMaxIdentityBytes)
+      throw FramingError("handshake rejected: oversized");
+    return false;  // need more bytes
   }
-  c->decoder.feed(data, n);
-  deliver_frames(c);
+  complete_handshake(c, hs);
+  if (consumed < c->hsbuf.size())
+    c->decoder.feed(c->hsbuf.data() + consumed, c->hsbuf.size() - consumed);
+  c->hsbuf.clear();
+  c->hsbuf.shrink_to_fit();
+  return true;
 }
 
 void RealEndpoint::deliver_frames(const std::shared_ptr<Conn>& c) {
@@ -691,38 +794,22 @@ void RealEndpoint::deliver_frames(const std::shared_ptr<Conn>& c) {
     ctr_->frames_received.fetch_add(1, std::memory_order_relaxed);
     mailbox_.deliver(std::move(m));
   }
+  // Fold the decoder's block/zero-copy accounting into the shared
+  // counters (delta since the last sync; stats only ever grow).
+  const BlockDecoder::Stats& s = c->decoder.stats();
+  ctr_->tcp_rx_blocks.fetch_add(s.blocks_allocated - c->synced.blocks_allocated,
+                                std::memory_order_relaxed);
+  ctr_->tcp_zero_copy_deliveries.fetch_add(
+      s.zero_copy_deliveries - c->synced.zero_copy_deliveries, std::memory_order_relaxed);
+  ctr_->tcp_zero_copy_bytes.fetch_add(s.zero_copy_bytes - c->synced.zero_copy_bytes,
+                                      std::memory_order_relaxed);
+  c->synced = s;
 }
 
 void RealEndpoint::flush_writeq(const std::shared_ptr<Conn>& c) {
   std::lock_guard<std::mutex> lock(c->write_mutex);
   if (c->dead) return;
-  while (!c->writeq.empty()) {
-    const std::vector<std::byte>& front = c->writeq.front();
-    const std::size_t left = front.size() - c->writeq_offset;
-    const ssize_t n =
-        ::send(c->fd, front.data() + c->writeq_offset, left, MSG_NOSIGNAL);
-    ctr_->tcp_write_syscalls.fetch_add(1, std::memory_order_relaxed);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      c->dead = true;  // reaped on the next readable/EOF event
-      return;
-    }
-    c->writeq_offset += static_cast<std::size_t>(n);
-    c->writeq_bytes -= static_cast<std::size_t>(n);
-    if (c->writeq_offset == front.size()) {
-      c->writeq.pop_front();
-      c->writeq_offset = 0;
-    }
-  }
-  if (c->writeq.empty() && c->epollout_armed) {
-    c->epollout_armed = false;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = c->fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
-  }
-  writeq_watermarks(*c);
+  flush_and_arm(*c);
 }
 
 // ---------------------------------------------------------------------------
@@ -739,11 +826,13 @@ RealTransport::RealTransport(TransportOptions options, std::vector<ProcId> membe
     CCF_REQUIRE(inserted, "duplicate transport member " << members_[i]);
   }
 
-  // Shared mapping: counters, then one ring per directed same-node pair.
+  // Shared mapping: counters, the per-member doorbell gates, then one
+  // ring per directed same-node pair.
   const std::size_t n = members_.size();
   const std::size_t ring_slot = align64(ShmRing::bytes_required(options_.shm_ring_bytes));
   ring_offset_.assign(n * n, SIZE_MAX);
-  std::size_t bytes = align64(sizeof(SharedCounters));
+  const std::size_t door_offset = align64(sizeof(SharedCounters));
+  std::size_t bytes = align64(door_offset + n * sizeof(std::atomic<std::uint32_t>));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       if (i == j || !same_node(members_[i], members_[j])) continue;
@@ -758,6 +847,13 @@ RealTransport::RealTransport(TransportOptions options, std::vector<ProcId> membe
             "mmap of " << shm_bytes_ << " transport bytes failed: "
                        << std::strerror(errno));
   shared_ = new (shm_) SharedCounters();
+  door_state_ = reinterpret_cast<std::atomic<std::uint32_t>*>(
+      static_cast<std::byte*>(shm_) + door_offset);
+  // Members start SLEEPING: a producer that races a not-yet-attached
+  // consumer rings the eventfd, whose count survives until the first
+  // epoll_wait.
+  for (std::size_t i = 0; i < n; ++i)
+    new (door_state_ + i) std::atomic<std::uint32_t>(kDoorSleeping);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j)
       if (ring_offset_[i * n + j] != SIZE_MAX)
@@ -901,11 +997,15 @@ TransportCounters RealTransport::counters() const {
   c.shm_inline_copies = s.shm_inline_copies.load();
   c.shm_inline_bytes = s.shm_inline_bytes.load();
   c.shm_producer_stalls = s.shm_producer_stalls.load();
+  c.shm_doorbell_writes = s.shm_doorbell_writes.load();
   c.tcp_frames = s.tcp_frames.load();
   c.tcp_bytes = s.tcp_bytes.load();
   c.tcp_read_syscalls = s.tcp_read_syscalls.load();
   c.tcp_write_syscalls = s.tcp_write_syscalls.load();
   c.tcp_connections = s.tcp_connections.load();
+  c.tcp_rx_blocks = s.tcp_rx_blocks.load();
+  c.tcp_zero_copy_deliveries = s.tcp_zero_copy_deliveries.load();
+  c.tcp_zero_copy_bytes = s.tcp_zero_copy_bytes.load();
   c.decode_errors = s.decode_errors.load();
   c.epoll_waits = s.epoll_waits.load();
   c.doorbells = s.doorbells.load();

@@ -58,11 +58,15 @@ struct SharedCounters {
   std::atomic<std::uint64_t> shm_inline_copies{0};
   std::atomic<std::uint64_t> shm_inline_bytes{0};
   std::atomic<std::uint64_t> shm_producer_stalls{0};
+  std::atomic<std::uint64_t> shm_doorbell_writes{0};
   std::atomic<std::uint64_t> tcp_frames{0};
   std::atomic<std::uint64_t> tcp_bytes{0};
   std::atomic<std::uint64_t> tcp_read_syscalls{0};
   std::atomic<std::uint64_t> tcp_write_syscalls{0};
   std::atomic<std::uint64_t> tcp_connections{0};
+  std::atomic<std::uint64_t> tcp_rx_blocks{0};
+  std::atomic<std::uint64_t> tcp_zero_copy_deliveries{0};
+  std::atomic<std::uint64_t> tcp_zero_copy_bytes{0};
   std::atomic<std::uint64_t> decode_errors{0};
   std::atomic<std::uint64_t> epoll_waits{0};
   std::atomic<std::uint64_t> doorbells{0};
@@ -70,6 +74,15 @@ struct SharedCounters {
   std::atomic<std::uint64_t> backpressure_clears{0};
   std::atomic<std::uint32_t> closed{0};  ///< cluster-wide shutdown flag
 };
+
+/// Per-member doorbell gate in the shared mapping (one word per member,
+/// following SharedCounters). A member's event loop flips it to
+/// kDoorSleeping just before epoll_wait (then re-checks its rings — the
+/// classic sleep/publish race); SHM producers ring the eventfd only when
+/// they observe — and win — the kDoorSleeping -> kDoorAwake edge. A burst
+/// into an awake consumer costs zero doorbell syscalls.
+inline constexpr std::uint32_t kDoorAwake = 0;
+inline constexpr std::uint32_t kDoorSleeping = 1;
 
 /// Parses a rendezvous file (`proc host port` per line, '#' comments).
 std::unordered_map<ProcId, std::pair<std::string, std::uint16_t>> load_rendezvous(
@@ -111,9 +124,14 @@ class RealTransport final : public Transport,
   std::vector<ProcId> members_;
   std::unordered_map<ProcId, std::size_t> member_index_;
 
+  std::atomic<std::uint32_t>* door_state(std::size_t member_index) const {
+    return door_state_ + member_index;
+  }
+
   void* shm_ = nullptr;
   std::size_t shm_bytes_ = 0;
   SharedCounters* shared_ = nullptr;
+  std::atomic<std::uint32_t>* door_state_ = nullptr;  ///< in the shared mapping
   /// Byte offset of ring (i -> j) within the mapping; SIZE_MAX when the
   /// pair is cross-node (TCP).
   std::vector<std::size_t> ring_offset_;

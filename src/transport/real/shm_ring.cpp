@@ -109,12 +109,16 @@ void RingConsumer::release(std::uint64_t begin, std::uint64_t end) {
   // one, making the ring look fuller than it is.
   std::lock_guard<std::mutex> lock(mutex_);
   released_.emplace(begin, end);
+  const std::uint64_t before = release_floor_;
   auto it = released_.begin();
   while (it != released_.end() && it->first == release_floor_) {
     release_floor_ = it->second;
     it = released_.erase(it);
   }
-  ring_.header()->tail.store(release_floor_, std::memory_order_release);
+  // An out-of-order release leaves the floor unchanged; skip the
+  // (cross-core) tail store until the gap closes.
+  if (release_floor_ != before)
+    ring_.header()->tail.store(release_floor_, std::memory_order_release);
 }
 
 }  // namespace ccf::transport::real

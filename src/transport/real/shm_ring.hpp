@@ -100,6 +100,7 @@ class ShmRing {
   }
 
   RingHeader* header() { return header_; }
+  const RingHeader* header() const { return header_; }
   std::byte* data() { return reinterpret_cast<std::byte*>(header_ + 1); }
   const std::byte* data() const { return reinterpret_cast<const std::byte*>(header_ + 1); }
 
@@ -133,8 +134,18 @@ class RingConsumer {
   std::optional<Record> next();
 
   /// Marks [begin, end) as no longer referenced; advances the shared
-  /// `tail` over the contiguous released prefix. Thread-safe.
+  /// `tail` over the contiguous released prefix. Thread-safe. Callers
+  /// that drain several contiguous records merge their intervals and
+  /// release once — one mutex acquisition and tail store per batch.
   void release(std::uint64_t begin, std::uint64_t end);
+
+  /// True when records are published past the parse cursor — the event
+  /// loop's pre-sleep check behind the coalesced doorbell (a producer
+  /// only rings the eventfd on the idle edge, so the consumer must
+  /// re-check after declaring itself asleep).
+  bool has_pending() const {
+    return ring_ && ring_.header()->head.load(std::memory_order_acquire) != scan_;
+  }
 
   ShmRing& ring() { return ring_; }
 

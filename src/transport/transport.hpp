@@ -43,6 +43,9 @@ struct TransportCounters {
   std::uint64_t shm_inline_copies = 0;        ///< small payloads copied out
   std::uint64_t shm_inline_bytes = 0;
   std::uint64_t shm_producer_stalls = 0;      ///< sends that waited on a full ring
+  std::uint64_t shm_doorbell_writes = 0;      ///< eventfd writes from the produce
+                                              ///< path (idle-edge only; a burst
+                                              ///< into an awake consumer writes 0)
 
   // TCP path.
   std::uint64_t tcp_frames = 0;
@@ -50,11 +53,14 @@ struct TransportCounters {
   std::uint64_t tcp_read_syscalls = 0;
   std::uint64_t tcp_write_syscalls = 0;
   std::uint64_t tcp_connections = 0;    ///< handshakes completed (both roles)
+  std::uint64_t tcp_rx_blocks = 0;            ///< receive blocks allocated
+  std::uint64_t tcp_zero_copy_deliveries = 0; ///< payloads aliasing a receive block
+  std::uint64_t tcp_zero_copy_bytes = 0;      ///< payload bytes never copied out
   std::uint64_t decode_errors = 0;      ///< malformed frames/handshakes rejected
 
   // Event loop.
   std::uint64_t epoll_waits = 0;
-  std::uint64_t doorbells = 0;  ///< eventfd wakeups written
+  std::uint64_t doorbells = 0;  ///< eventfd wakeups written (all wake paths)
 
   // Write-queue / ring backpressure edges (BufferPressure integration).
   std::uint64_t backpressure_raises = 0;
@@ -123,6 +129,13 @@ struct TransportOptions {
   /// Hard cap on a decoded frame's payload (hostile-input guard on the
   /// TCP path; an SHM frame is already bounded by the ring capacity).
   std::size_t max_frame_payload_bytes = 256u << 20;
+
+  /// TCP receive block size: each read() lands in a refcounted block this
+  /// large (grown to fit a partial frame's remainder), and every complete
+  /// frame inside one block is parsed from a single syscall. Payloads
+  /// above shm_inline_bytes are delivered as zero-copy views aliasing the
+  /// block. Tests shrink this to force frames to straddle block edges.
+  std::size_t tcp_recv_block_bytes = 256u << 10;
 
   /// TCP write-queue watermarks driving Endpoint::under_pressure().
   std::size_t tcp_writeq_high_bytes = 4u << 20;

@@ -44,7 +44,8 @@ bool control_plane_only(transport::ProcId, transport::ProcId, transport::Tag tag
   return tag >= kTagImportRequest && tag < kTagDataBase;
 }
 
-std::vector<std::vector<Answer>> run_real(std::shared_ptr<FaultInjector> faults) {
+std::vector<std::vector<Answer>> run_real(std::shared_ptr<FaultInjector> faults,
+                                          std::size_t tcp_recv_block_bytes = 0) {
   Config config;
   config.add_program(ProgramSpec{"E", "h", "/e", 2, {}});
   config.add_program(ProgramSpec{"I", "h", "/i", 2, {}});
@@ -53,6 +54,8 @@ std::vector<std::vector<Answer>> run_real(std::shared_ptr<FaultInjector> faults)
   runtime::ClusterOptions cluster_options;
   cluster_options.mode = runtime::ExecutionMode::RealThreads;
   cluster_options.transport.kind = transport::TransportKind::Real;
+  if (tcp_recv_block_bytes != 0)
+    cluster_options.transport.tcp_recv_block_bytes = tcp_recv_block_bytes;
   cluster_options.faults = std::move(faults);
   CoupledSystem system(config, cluster_options, tolerant_options());
   // Split the two programs across transport nodes: intra-program traffic
@@ -133,6 +136,44 @@ TEST(TransportChaos, SeededScheduleConvergesOnLoopbackTcp) {
           << chaotic[rank][i].matched << ", " << chaotic[rank][i].version
           << "), expected (" << reference[0][i].matched << ", "
           << reference[0][i].version << ")";
+    }
+  }
+}
+
+TEST(TransportChaos, BatchedPathWithTinyReceiveBlocksConverges) {
+  // Same seeded chaos, but the TCP receive block is shrunk far below
+  // typical frame sizes so every coalesced writev burst is parsed across
+  // many block rotations: frames straddle block edges, headers split at
+  // boundaries, and zero-copy views alias short-lived blocks — all while
+  // the fault injector drops and reorders control traffic on top.
+  ::setenv("CCF_NODES", "split", 1);
+  struct EnvGuard {
+    ~EnvGuard() { ::unsetenv("CCF_NODES"); }
+  } guard;
+
+  const std::size_t tiny_block = 192;
+  const auto reference = run_real(nullptr, tiny_block);
+  ASSERT_EQ(reference.size(), 2u);
+  ASSERT_FALSE(reference[0].empty());
+  EXPECT_EQ(reference[0], reference[1]);
+
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_prob = 0.1;
+  plan.duplicate_prob = 0.1;
+  plan.delay_prob = 0.1;
+  plan.delay_min_seconds = 0.001;
+  plan.delay_max_seconds = 0.01;
+  plan.eligible = control_plane_only;
+  plan.max_faults = 40;
+
+  const auto chaotic = run_real(std::make_shared<FaultInjector>(plan), tiny_block);
+  ASSERT_EQ(chaotic.size(), 2u);
+  for (std::size_t rank = 0; rank < 2; ++rank) {
+    ASSERT_EQ(chaotic[rank].size(), reference[0].size()) << "rank " << rank;
+    for (std::size_t i = 0; i < reference[0].size(); ++i) {
+      EXPECT_TRUE(chaotic[rank][i] == reference[0][i])
+          << "rank " << rank << " request " << i;
     }
   }
 }

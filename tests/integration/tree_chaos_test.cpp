@@ -38,6 +38,7 @@ struct Workload {
   int importer_procs = 2;
   int fanin = 2;
   int shards = 1;
+  int flush_count = 0;  ///< pipelined partial frames (0 = one per wave)
   std::vector<Timestamp> exports;
   std::vector<Timestamp> requests;
 };
@@ -82,6 +83,7 @@ RunResult run_system(const Workload& wl, const FrameworkOptions& fw,
   ProgramSpec e{"E", "h", "/e", wl.exporter_procs, {}};
   e.rep_fanin = wl.fanin;
   e.rep_shards = wl.shards;
+  e.tree_flush_count = wl.flush_count;
   config.add_program(e);
   config.add_program(ProgramSpec{"I", "h", "/i", wl.importer_procs, {}});
   config.add_connection(ConnectionSpec{"E", "r", "I", "r", MatchPolicy::REGL, 2.5, {}});
@@ -203,6 +205,50 @@ TEST(TreeChaos, FullControlPlaneChaosWithTreeAndShards) {
       FAIL() << "seed " << seed << ": " << e.what();
     }
     expect_same_answers(run, reference.per_rank[0], "mixed seed " + std::to_string(seed));
+  }
+}
+
+TEST(TreeChaos, PipelinedPartialFramesConvergeAcrossFlushThresholds) {
+  // Pipelined aggregation changes the framing — a wave's entries leave
+  // in several partial TreeUp/TreeDown frames instead of one — but not
+  // the aggregate, so every flush threshold must produce the per-wave
+  // baseline's answers. flush_count=1 is the extreme: one entry per
+  // frame, maximum frame count, every batching invariant stressed.
+  const Workload baseline = default_workload();
+  const RunResult reference = run_system(baseline, tolerant_options(), nullptr);
+  ASSERT_FALSE(reference.per_rank.empty());
+
+  for (const int flush : {1, 2, 4}) {
+    Workload wl = baseline;
+    wl.flush_count = flush;
+
+    // Fault-free: answers identical at every threshold.
+    const RunResult clean = run_system(wl, tolerant_options(), nullptr);
+    expect_same_answers(clean, reference.per_rank[0],
+                        "flush " + std::to_string(flush) + " clean");
+
+    // Under frame chaos a lost partial frame loses fewer entries than a
+    // lost whole-wave frame, but the retry machinery must converge all
+    // the same.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      FaultPlan plan;
+      plan.seed = seed;
+      plan.drop_prob = 0.1;
+      plan.duplicate_prob = 0.1;
+      plan.delay_prob = 0.2;
+      plan.delay_min_seconds = 0.02;
+      plan.delay_max_seconds = 0.2;
+      plan.eligible = frames_only;
+      RunResult run;
+      try {
+        run = run_system(wl, tolerant_options(), std::make_shared<FaultInjector>(plan));
+      } catch (const std::exception& e) {
+        FAIL() << "flush " << flush << " seed " << seed << ": " << e.what();
+      }
+      expect_same_answers(run, reference.per_rank[0],
+                          "flush " + std::to_string(flush) + " seed " +
+                              std::to_string(seed));
+    }
   }
 }
 

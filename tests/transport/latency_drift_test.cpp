@@ -1,0 +1,89 @@
+// Calibration drift gate: the constants baked into shm_calibrated_model()
+// / tcp_calibrated_model() (src/transport/latency.cpp) are hand-rounded
+// from the checked-in BENCH_transport.json produced by
+// bench/bench_transport_cal. Whenever the bench is re-run and the JSON
+// re-committed, the constants must be refreshed too — virtual-time runs
+// charging stale delays would silently drift away from what the real
+// data plane measures. This test parses the checked-in JSON (path baked
+// in at configure time) and fails when either model diverges from the
+// recorded fit by more than the rounding tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "transport/latency.hpp"
+
+#ifndef CCF_BENCH_TRANSPORT_JSON
+#error "CCF_BENCH_TRANSPORT_JSON must point at the checked-in BENCH_transport.json"
+#endif
+
+namespace ccf::transport {
+namespace {
+
+// The JSON is machine-written by bench_transport_cal with one key per
+// line, so a targeted scan is enough — no JSON library in the tree.
+double json_number(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  EXPECT_NE(at, std::string::npos) << "key " << key << " missing from JSON";
+  if (at == std::string::npos) return std::nan("");
+  return std::stod(text.substr(at + needle.size()));
+}
+
+// Constants are rounded to ~2 significant digits when transcribed; a
+// fresh bench run that moves a fit beyond this band means latency.cpp
+// was not updated alongside the JSON.
+constexpr double kTolerance = 0.15;
+
+void expect_close(double constant, double measured, const char* what) {
+  ASSERT_GT(measured, 0.0) << what;
+  EXPECT_LE(std::abs(constant - measured) / measured, kTolerance)
+      << what << ": latency.cpp has " << constant << " but BENCH_transport.json says "
+      << measured << " — re-transcribe the calibrated model constants";
+}
+
+TEST(LatencyDrift, CalibratedModelsMatchCheckedInBench) {
+  std::ifstream in(CCF_BENCH_TRANSPORT_JSON);
+  ASSERT_TRUE(in.good()) << "cannot open " << CCF_BENCH_TRANSPORT_JSON;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  const auto shm =
+      std::dynamic_pointer_cast<const BandwidthLatency>(shm_calibrated_model());
+  const auto tcp =
+      std::dynamic_pointer_cast<const BandwidthLatency>(tcp_calibrated_model());
+  ASSERT_NE(shm, nullptr);
+  ASSERT_NE(tcp, nullptr);
+
+  expect_close(shm->latency(), json_number(json, "shm_per_message_seconds"),
+               "shm per-message latency");
+  expect_close(shm->bandwidth(), json_number(json, "shm_bytes_per_second"),
+               "shm bandwidth");
+  expect_close(tcp->latency(), json_number(json, "tcp_per_message_seconds"),
+               "tcp per-message latency");
+  expect_close(tcp->bandwidth(), json_number(json, "tcp_bytes_per_second"),
+               "tcp bandwidth");
+}
+
+TEST(LatencyDrift, BenchRecordsBatchedSyscallBudget) {
+  // The headline claim of the batched data plane, pinned structurally:
+  // the checked-in run must show <= 3 TCP syscalls per frame at pipeline
+  // depth and sub-1 doorbells per SHM frame. (bench/run_benches gates
+  // fresh runs; this guards the committed artifact.)
+  std::ifstream in(CCF_BENCH_TRANSPORT_JSON);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  EXPECT_LE(json_number(json, "tcp_syscalls_per_frame"), 3.0);
+  EXPECT_LT(json_number(json, "shm_doorbells_per_frame_at_depth"), 1.0);
+}
+
+}  // namespace
+}  // namespace ccf::transport

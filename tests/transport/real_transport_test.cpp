@@ -134,6 +134,48 @@ TEST(RealTransport, FirstFrameMayBeLargerThanTheSocketBuffer) {
   }
 }
 
+TEST(RealTransport, CoalescedFirstBurstSurvivesTinyReceiveBlocks) {
+  // Batched-path variant of the regression above: the sender's first
+  // FIVE frames pile up behind the HELLO (a fresh connection flushes its
+  // whole queue in one writev), and the receiver is configured with a
+  // receive block far smaller than the burst so handshake leftovers,
+  // block rotation, and frames straddling block edges all happen on the
+  // very first bytes of the connection. Timing-dependent, so run several
+  // fresh clusters.
+  for (int round = 0; round < 5; ++round) {
+    TransportOptions opt;
+    opt.kind = TransportKind::Real;
+    opt.node_of[1] = 1;
+    opt.tcp_recv_block_bytes = 256;  // burst is ~90 KiB: hundreds of rotations
+    auto fabric = make_transport(opt, {0, 1});
+
+    const std::vector<std::size_t> sizes = {64, 512, 4096, 16384, 65536};
+    std::vector<std::vector<std::byte>> delivered(sizes.size());
+    std::thread peer([&] {
+      auto ep = fabric->attach(1);
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        Message m = ep->inbox().receive(MatchSpec{0, static_cast<Tag>(i)});
+        delivered[i].assign(m.payload.data(), m.payload.data() + m.payload.size());
+      }
+      ep->send(make_message(1, 0, 99, {std::byte{0x1}}));
+    });
+    {
+      // All five sends queue before the connect handshake completes, so
+      // they leave in one coalesced burst right behind the HELLO.
+      auto ep = fabric->attach(0);
+      for (std::size_t i = 0; i < sizes.size(); ++i)
+        ep->send(make_message(0, 1, static_cast<Tag>(i), pattern(sizes[i], unsigned(i))));
+      (void)ep->inbox().receive(MatchSpec{1, 99});
+    }
+    peer.join();
+
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+      EXPECT_EQ(delivered[i], pattern(sizes[i], unsigned(i)))
+          << "round " << round << " frame " << i;
+    EXPECT_EQ(fabric->counters().decode_errors, 0u) << "round " << round;
+  }
+}
+
 TEST(RealTransport, MixedNodesRouteShmWithinAndTcpAcross) {
   TransportOptions opt;
   opt.kind = TransportKind::Real;
